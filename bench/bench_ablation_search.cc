@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Ablation for Section 3.2's design choices: the priority queue vs a
+ * FIFO worklist (time-to-best-bound), the quality of the trivial
+ * initial UOV vs the searched optimum, and the cost of the exhaustive
+ * reference search.
+ */
+
+#include "bench_common.h"
+
+#include "core/greedy.h"
+#include "core/search.h"
+#include "core/storage_count.h"
+
+using namespace uov;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseArgs(argc, argv);
+    bench::banner("Section 3.2 ablations (priority queue, initial "
+                  "UOV, exhaustive reference)");
+
+    std::vector<std::pair<std::string, Stencil>> zoo = {
+        {"simple (Fig 1)", stencils::simpleExample()},
+        {"3-vector (Fig 2)", stencils::threeVector()},
+        {"5-point (Fig 5)", stencils::fivePoint()},
+        {"9-point", Stencil({IVec{1, -4}, IVec{1, -3}, IVec{1, -2},
+                             IVec{1, -1}, IVec{1, 0}, IVec{1, 1},
+                             IVec{1, 2}, IVec{1, 3}, IVec{1, 4}})},
+        {"asymmetric", Stencil({IVec{1, 3}, IVec{1, -2}, IVec{2, 1}})},
+        {"heat3d", stencils::heat3D()},
+    };
+
+    Table t("Priority queue vs FIFO worklist (shortest objective)");
+    t.header({"stencil", "uov", "pq visits-to-best", "fifo "
+              "visits-to-best", "pq visited", "fifo visited"});
+    for (const auto &[label, s] : zoo) {
+        SearchResult pq =
+            BranchBoundSearch(s, SearchObjective::ShortestVector).run();
+        SearchOptions fo;
+        fo.use_priority_queue = false;
+        SearchResult fifo =
+            BranchBoundSearch(s, SearchObjective::ShortestVector, fo)
+                .run();
+        t.addRow()
+            .cell(label)
+            .cell(pq.best_uov.str())
+            .cell(pq.stats.visits_to_best)
+            .cell(fifo.stats.visits_to_best)
+            .cell(pq.stats.visited)
+            .cell(fifo.stats.visited);
+    }
+    bench::emit(t, opt);
+
+    Table b("Bound shrinking (Section 3.2.1's 'reset the bound') on "
+            "vs off");
+    b.header({"stencil", "visited (shrinking)", "visited (fixed "
+              "radius)", "same optimum"});
+    for (const auto &[label, s] : zoo) {
+        SearchResult on =
+            BranchBoundSearch(s, SearchObjective::ShortestVector).run();
+        SearchOptions no_shrink;
+        no_shrink.disable_bound_shrinking = true;
+        SearchResult off = BranchBoundSearch(
+                               s, SearchObjective::ShortestVector,
+                               no_shrink)
+                               .run();
+        b.addRow()
+            .cell(label)
+            .cell(on.stats.visited)
+            .cell(off.stats.visited)
+            .cell(on.best_objective == off.best_objective ? "yes"
+                                                          : "NO");
+    }
+    bench::emit(b, opt);
+
+    Table i("Initial UOV (sum of V) vs searched optimum: storage over "
+            "a 64 x 4096 ISG");
+    i.header({"stencil", "initial uov", "cells(initial)", "best uov",
+              "cells(best)", "saving"});
+    Polyhedron isg = Polyhedron::box(IVec{0, 0}, IVec{64, 4096});
+    for (const auto &[label, s] : zoo) {
+        if (s.dim() != 2)
+            continue;
+        IVec initial = s.initialUov();
+        SearchResult best =
+            BranchBoundSearch(s, SearchObjective::ShortestVector).run();
+        int64_t c0 = storageCellCount(initial, isg);
+        int64_t c1 = storageCellCount(best.best_uov, isg);
+        i.addRow()
+            .cell(label)
+            .cell(initial.str())
+            .cell(formatCount(c0))
+            .cell(best.best_uov.str())
+            .cell(formatCount(c1))
+            .cell(formatDouble(static_cast<double>(c0) /
+                                   static_cast<double>(c1),
+                               2) +
+                  "x");
+    }
+    bench::emit(i, opt);
+
+    Table e("Branch-and-bound vs exhaustive vs greedy descent");
+    e.header({"stencil", "b&b visited", "exhaustive visited",
+              "b&b == exhaustive", "greedy |uov|^2", "greedy probes",
+              "greedy optimal"});
+    for (const auto &[label, s] : zoo) {
+        SearchResult bb =
+            BranchBoundSearch(s, SearchObjective::ShortestVector).run();
+        SearchResult ex =
+            exhaustiveUovSearch(s, SearchObjective::ShortestVector);
+        GreedyResult greedy = greedyUovSearch(s);
+        e.addRow()
+            .cell(label)
+            .cell(bb.stats.visited)
+            .cell(ex.stats.visited)
+            .cell(bb.best_objective == ex.best_objective ? "yes"
+                                                         : "NO")
+            .cell(greedy.objective)
+            .cell(greedy.probes)
+            .cell(greedy.objective == bb.best_objective ? "yes" : "no");
+    }
+    bench::emit(e, opt);
+    return 0;
+}

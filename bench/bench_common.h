@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared plumbing for the per-table / per-figure bench binaries.
+ *
+ * Every binary prints the paper-style rows as an aligned table on
+ * stdout; pass --csv for machine-readable output instead.  The header
+ * of each binary's output names the paper artifact it regenerates.
+ */
+
+#ifndef UOV_BENCH_BENCH_COMMON_H
+#define UOV_BENCH_BENCH_COMMON_H
+
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+#include "support/table.h"
+
+namespace uov {
+namespace bench {
+
+/** Common command-line options. */
+struct Options
+{
+    bool csv = false;   ///< emit CSV instead of aligned tables
+    bool quick = false; ///< shrink sweeps (used by CI smoke runs)
+};
+
+inline Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--csv")
+            o.csv = true;
+        else if (a == "--quick")
+            o.quick = true;
+        else if (a == "--help" || a == "-h") {
+            std::cout << "usage: " << argv[0] << " [--csv] [--quick]\n";
+            std::exit(0);
+        }
+    }
+    return o;
+}
+
+inline void
+emit(const Table &t, const Options &o)
+{
+    if (o.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    std::cout << "\n";
+}
+
+/** Banner naming the paper artifact being regenerated. */
+inline void
+banner(const std::string &what)
+{
+    std::cout << "# Strout et al., ASPLOS 1998 -- reproducing " << what
+              << "\n\n";
+}
+
+/**
+ * The three testbed machines.  @p memory_scale shrinks physical
+ * memory so the paper's out-of-memory regime appears within a sweep
+ * that simulates in seconds (documented per bench).
+ */
+inline std::vector<MachineConfig>
+paperMachines(double memory_scale = 1.0)
+{
+    std::vector<MachineConfig> machines = {MachineConfig::pentiumPro(),
+                                           MachineConfig::ultra2(),
+                                           MachineConfig::alpha21164()};
+    for (auto &m : machines) {
+        auto scaled = static_cast<int64_t>(
+            static_cast<double>(m.memory_bytes) * memory_scale);
+        m.memory_bytes = std::max<int64_t>(scaled, m.page_bytes * 16);
+    }
+    return machines;
+}
+
+/** Median wall-clock nanoseconds of fn() over @p reps runs. */
+inline double
+measureNs(const std::function<void()> &fn, int reps = 5)
+{
+    std::vector<double> samples;
+    samples.reserve(static_cast<size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        auto stop = std::chrono::steady_clock::now();
+        samples.push_back(
+            std::chrono::duration<double, std::nano>(stop - start)
+                .count());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+} // namespace bench
+} // namespace uov
+
+#endif // UOV_BENCH_BENCH_COMMON_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Figure 4: how the initial UOV ov_o = sum(V) bounds the
+ * search region, and how much the reachability pruning (the paper's
+ * extreme-vector parallelepiped) cuts from the search.
+ */
+
+#include "bench_common.h"
+
+#include "core/cone_pruner.h"
+#include "core/search.h"
+
+using namespace uov;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseArgs(argc, argv);
+    bench::banner("Figure 4 (bounding the search with ov_o and the "
+                  "dependence cone)");
+
+    Table t("Search-region geometry per stencil");
+    t.header({"stencil", "ov_o", "|ov_o|^2", "extreme vectors",
+              "visited", "pruned", "best uov"});
+
+    for (const Stencil &s :
+         {stencils::simpleExample(), stencils::threeVector(),
+          stencils::fivePoint(),
+          Stencil({IVec{1, 5}, IVec{1, -5}, IVec{2, 0}})}) {
+        auto [lo, hi] = s.extremeVectors2D();
+        SearchResult r =
+            BranchBoundSearch(s, SearchObjective::ShortestVector).run();
+        t.addRow()
+            .cell(s.str())
+            .cell(s.initialUov().str())
+            .cell(s.initialUov().normSquared())
+            .cell(lo.str() + " / " + hi.str())
+            .cell(r.stats.visited)
+            .cell(r.stats.pruned)
+            .cell(r.best_uov.str());
+    }
+    bench::emit(t, opt);
+
+    // Demonstrate the pruning region test on the 5-point stencil.
+    Stencil five = stencils::fivePoint();
+    ConePruner pruner(five);
+    int64_t radius_sq = five.initialUov().normSquared();
+
+    Table p("Reachability pruning around the 5-point stencil "
+            "(radius^2 = |ov_o|^2 = " +
+            std::to_string(radius_sq) + ")");
+    p.header({"offset w", "min reachable |.|^2 (lower bound)",
+              "pruned?"});
+    for (const IVec &w : {IVec{1, 0}, IVec{1, 2}, IVec{2, 4}, IVec{3, 6},
+                          IVec{4, 8}, IVec{5, 10}}) {
+        double lb = pruner.minReachableNormSquared(w);
+        p.addRow()
+            .cell(w.str())
+            .cell(lb, 2)
+            .cell(pruner.prune(w, radius_sq) ? "yes" : "no");
+    }
+    bench::emit(p, opt);
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces Figure 5 and Section 4.2: the 5-point stencil's
+ * non-prime UOV (2,0) and its two storage layouts --
+ *   interleaved: SM(q) = (0,2).q + (q_t mod 2)
+ *   blocked:     SM(q) = (0,1).q + (q_t mod 2) * L
+ * including a cell-by-cell dump of both layouts on a small ISG.
+ */
+
+#include "bench_common.h"
+
+#include "core/search.h"
+#include "core/uov.h"
+#include "mapping/storage_mapping.h"
+
+using namespace uov;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseArgs(argc, argv);
+    bench::banner("Figure 5 (non-prime UOV (2,0): interleaved vs "
+                  "blocked layouts)");
+
+    Stencil five = stencils::fivePoint();
+    SearchResult search =
+        BranchBoundSearch(five, SearchObjective::ShortestVector).run();
+    std::cout << "stencil " << five.str() << "\n"
+              << "searched UOV: " << search.best_uov << " (paper: "
+              << "(2, 0)); gcd = " << search.best_uov.content()
+              << " -> non-prime, two storage classes\n\n";
+
+    const int64_t t_max = 5, len = 7;
+    Polyhedron isg = Polyhedron::box(IVec{0, 0}, IVec{t_max, len});
+
+    for (ModLayout layout :
+         {ModLayout::Interleaved, ModLayout::Blocked}) {
+        StorageMapping sm =
+            StorageMapping::create(search.best_uov, isg, layout);
+        const char *label =
+            layout == ModLayout::Interleaved ? "interleaved" : "blocked";
+        std::cout << label << ": " << sm.str() << "\n";
+
+        // Cell map: rows t, columns i.
+        std::cout << "  cell ids over t=0.." << t_max << " (rows) x i=0.."
+                  << len << " (cols):\n";
+        for (int64_t t = 0; t <= t_max; ++t) {
+            std::cout << "    ";
+            for (int64_t i = 0; i <= len; ++i) {
+                int64_t c = sm(IVec{t, i});
+                std::cout << (c < 10 ? " " : "") << c << " ";
+            }
+            std::cout << "\n";
+        }
+        std::cout << "\n";
+    }
+
+    // The paper's literal formulas, checked.
+    StorageMapping inter = StorageMapping::create(
+        IVec{2, 0}, isg, ModLayout::Interleaved);
+    StorageMapping block =
+        StorageMapping::create(IVec{2, 0}, isg, ModLayout::Blocked);
+    uint64_t bad = 0;
+    for (int64_t t = 0; t <= t_max; ++t) {
+        for (int64_t i = 0; i <= len; ++i) {
+            IVec q{t, i};
+            if (inter(q) != 2 * i + (t % 2))
+                ++bad;
+            if (block(q) != i + (t % 2) * (len + 1))
+                ++bad;
+        }
+    }
+    Table t("Figure 5 formula check");
+    t.header({"layout", "paper formula", "matches"});
+    t.addRow().cell("interleaved").cell("(0,2).q + (q_t mod 2)")
+        .cell(bad == 0 ? "yes" : "NO");
+    t.addRow().cell("blocked").cell("(0,1).q + (q_t mod 2)*L")
+        .cell(bad == 0 ? "yes" : "NO");
+    bench::emit(t, opt);
+    return bad == 0 ? 0 : 1;
+}

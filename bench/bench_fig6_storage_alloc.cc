@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Figure 6 and Section 4.3: computing storage allocation
+ * from the ISG's extreme points -- for a rectangle (0,0)..(n,m) with
+ * ov = (1,1), |mv.xp1 - mv.xp2| + 1 = n + m + 1 cells.
+ */
+
+#include "bench_common.h"
+
+#include "core/storage_count.h"
+#include "mapping/storage_mapping.h"
+
+using namespace uov;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseArgs(argc, argv);
+    bench::banner("Figure 6 (storage allocation from ISG extreme "
+                  "points)");
+
+    Table t("Figure 6: ov=(1,1) on the rectangle (0,0)..(n,m)");
+    t.header({"n", "m", "mv", "mv.xp1", "mv.xp2", "cells", "n+m+1"});
+    for (auto [n, m] : {std::pair<int64_t, int64_t>{8, 5},
+                        {20, 13},
+                        {100, 1},
+                        {64, 64}}) {
+        Polyhedron isg = Polyhedron::box(IVec{0, 0}, IVec{n, m});
+        IVec mv = mappingVector2D(IVec{1, 1});
+        // The extreme points achieving the projection extremes.
+        int64_t p1 = mv.dot(IVec{0, m}); // max: -0 + m
+        int64_t p2 = mv.dot(IVec{n, 0}); // min: -n + 0
+        t.addRow()
+            .cell(n)
+            .cell(m)
+            .cell(mv.str())
+            .cell(p1)
+            .cell(p2)
+            .cell(storageCellCount(IVec{1, 1}, isg))
+            .cell(n + m + 1);
+    }
+    bench::emit(t, opt);
+
+    // General OVs on general vertices: allocation always covers the
+    // occupied classes and is exact for the paper's unit mappings.
+    Table g("Allocation vs occupied classes on the Figure 3 "
+            "parallelogram");
+    g.header({"ov", "allocated", "occupied (exact)"});
+    Polyhedron para = Polyhedron::fromVertices2D(
+        {IVec{1, 1}, IVec{1, 6}, IVec{10, 4}, IVec{10, 9}});
+    for (const IVec &ov :
+         {IVec{1, 1}, IVec{3, 1}, IVec{3, 0}, IVec{2, 2}}) {
+        g.addRow()
+            .cell(ov.str())
+            .cell(storageCellCount(ov, para))
+            .cell(storageCellCountExact(ov, para));
+    }
+    bench::emit(g, opt);
+    return 0;
+}

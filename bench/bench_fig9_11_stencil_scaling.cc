@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Reproduces Figures 9-11: 5-point stencil cycles per iteration over
+ * a length sweep, all seven code versions, on the three simulated
+ * testbeds.
+ *
+ * Testbed substitution notes (DESIGN.md): physical memory is set to
+ * 8 / 16 / 32 MiB (PPro / Ultra2 / Alpha) so that the paper's
+ * "falls out of memory" regime -- natural first, OV-mapped much
+ * later, storage-optimized last -- appears inside a sweep that
+ * simulates in seconds.  Tiled variants tile for L1 (two rows of
+ * tile_s floats ~ L1 size).  The expected shape:
+ *   - in-cache sizes: all versions close;
+ *   - past L2: untiled versions pay memory latency, OV-tiled stays
+ *     low;
+ *   - past memory: natural skyrockets first, then OV-untiled; the
+ *     storage-optimized and tiled-OV versions survive longest.
+ */
+
+#include "bench_common.h"
+
+#include "kernels/stencil5.h"
+
+using namespace uov;
+
+namespace {
+
+double
+simCyclesPerIter(Stencil5Variant v, const Stencil5Config &cfg,
+                 const MachineConfig &machine)
+{
+    MemorySystem ms(machine);
+    SimMem mem{&ms};
+    VirtualArena arena;
+    runStencil5(v, cfg, mem, arena);
+    double iters = static_cast<double>(cfg.length) *
+                   static_cast<double>(cfg.steps);
+    return ms.cycles() / iters;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseArgs(argc, argv);
+    bench::banner("Figures 9-11 (5-point stencil scaling across "
+                  "lengths, 3 machines)");
+
+    std::vector<int64_t> lengths = {1000, 10000, 100000, 300000,
+                                    1000000, 2000000};
+    if (opt.quick)
+        lengths = {1000, 10000, 100000};
+    const int64_t steps = 8;
+
+    auto machines = bench::paperMachines();
+    machines[0].memory_bytes = 8ll << 20;  // PentiumPro
+    machines[1].memory_bytes = 16ll << 20; // Ultra2
+    machines[2].memory_bytes = 32ll << 20; // Alpha
+
+    for (const auto &machine : machines) {
+        Table t("Figure " +
+                std::string(machine.name == "PentiumPro-200" ? "9"
+                            : machine.name == "Ultra2-200"   ? "10"
+                                                             : "11") +
+                ": cycles/iteration on " + machine.name + " (T=" +
+                std::to_string(steps) + ", memory " +
+                std::to_string(machine.memory_bytes >> 20) + " MiB)");
+        std::vector<std::string> header = {"Length"};
+        for (Stencil5Variant v : allStencil5Variants())
+            header.push_back(stencil5VariantName(v));
+        t.header(header);
+
+        for (int64_t len : lengths) {
+            Stencil5Config cfg;
+            cfg.length = len;
+            cfg.steps = steps;
+            cfg.tile_t = steps;
+            // Tile for L1: 2 rows of tile_s floats ~ L1 capacity.
+            cfg.tile_s =
+                std::max<int64_t>(64, machine.l1.size_bytes / (4 * 2));
+
+            auto row = t.addRow();
+            row.cell(formatCount(len));
+            for (Stencil5Variant v : allStencil5Variants())
+                row.cell(simCyclesPerIter(v, cfg, machine), 1);
+        }
+        bench::emit(t, opt);
+    }
+
+    // Shape assertions matching the paper's story at the largest size.
+    {
+        const auto &machine = machines[0];
+        Stencil5Config cfg;
+        cfg.length = lengths.back();
+        cfg.steps = steps;
+        cfg.tile_t = steps;
+        cfg.tile_s = machine.l1.size_bytes / 8;
+        double natural =
+            simCyclesPerIter(Stencil5Variant::Natural, cfg, machine);
+        double ov_tiled =
+            simCyclesPerIter(Stencil5Variant::OvTiled, cfg, machine);
+        double opt_v = simCyclesPerIter(
+            Stencil5Variant::StorageOptimized, cfg, machine);
+        std::cerr << "shape check @ L=" << formatCount(cfg.length)
+                  << " on " << machine.name << ": natural="
+                  << formatDouble(natural, 1)
+                  << " >> ov_tiled=" << formatDouble(ov_tiled, 1)
+                  << " ~ storage_optimized=" << formatDouble(opt_v, 1)
+                  << " -> "
+                  << (natural > 2 * ov_tiled ? "reproduced"
+                                             : "NOT reproduced")
+                  << "\n";
+    }
+    return 0;
+}

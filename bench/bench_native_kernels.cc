@@ -1,0 +1,106 @@
+/**
+ * @file
+ * google-benchmark suite over the kernel variants on the host: the
+ * wall-clock complement to the simulated-machine figure benches.  The
+ * relative shapes (tiled OV-mapped competitive at large sizes; natural
+ * degrading as its footprint explodes) are architecture-robust even
+ * though the host is not a 1998 machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "kernels/psm.h"
+#include "kernels/simple.h"
+#include "kernels/stencil5.h"
+
+using namespace uov;
+
+namespace {
+
+void
+BM_Stencil5(benchmark::State &state)
+{
+    auto variant = static_cast<Stencil5Variant>(state.range(0));
+    Stencil5Config cfg;
+    cfg.length = state.range(1);
+    cfg.steps = 8;
+    cfg.tile_t = 8;
+    cfg.tile_s = 2048;
+    for (auto _ : state) {
+        VirtualArena arena;
+        NativeMem mem;
+        benchmark::DoNotOptimize(runStencil5(variant, cfg, mem, arena));
+    }
+    state.SetItemsProcessed(state.iterations() * cfg.length *
+                            cfg.steps);
+    state.SetLabel(stencil5VariantName(variant));
+}
+
+void
+BM_Psm(benchmark::State &state)
+{
+    auto variant = static_cast<PsmVariant>(state.range(0));
+    PsmConfig cfg;
+    cfg.n0 = cfg.n1 = state.range(1);
+    cfg.tile_i = cfg.tile_j = 128;
+    for (auto _ : state) {
+        VirtualArena arena;
+        NativeMem mem;
+        benchmark::DoNotOptimize(runPsm(variant, cfg, mem, arena));
+    }
+    state.SetItemsProcessed(state.iterations() * cfg.n0 * cfg.n1);
+    state.SetLabel(psmVariantName(variant));
+}
+
+void
+BM_Simple(benchmark::State &state)
+{
+    auto variant = static_cast<SimpleVariant>(state.range(0));
+    int64_t n = state.range(1);
+    for (auto _ : state) {
+        VirtualArena arena;
+        NativeMem mem;
+        benchmark::DoNotOptimize(
+            runSimple(variant, n, n, mem, arena));
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+    state.SetLabel(simpleVariantName(variant));
+}
+
+void
+registerAll()
+{
+    for (Stencil5Variant v : allStencil5Variants()) {
+        for (int64_t len : {int64_t{4096}, int64_t{1048576}}) {
+            benchmark::RegisterBenchmark("BM_Stencil5", BM_Stencil5)
+                ->Args({static_cast<int64_t>(v), len})
+                ->MinTime(0.05);
+        }
+    }
+    for (PsmVariant v : allPsmVariants()) {
+        for (int64_t n : {int64_t{128}, int64_t{1024}}) {
+            benchmark::RegisterBenchmark("BM_Psm", BM_Psm)
+                ->Args({static_cast<int64_t>(v), n})
+                ->MinTime(0.05);
+        }
+    }
+    for (SimpleVariant v :
+         {SimpleVariant::Natural, SimpleVariant::OvMapped,
+          SimpleVariant::StorageOptimized}) {
+        benchmark::RegisterBenchmark("BM_Simple", BM_Simple)
+            ->Args({static_cast<int64_t>(v), 512})
+            ->MinTime(0.05);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reproduces the Section 3.1 theorem experimentally: PARTITION
+ * instances map to UOV-membership queries and the answers agree;
+ * the exact solver's work grows with instance size, as NP-completeness
+ * predicts for the worst case.
+ */
+
+#include "bench_common.h"
+
+#include "core/reduction.h"
+#include "core/uov.h"
+#include "support/rng.h"
+
+using namespace uov;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseArgs(argc, argv);
+    bench::banner("Theorem 3.1 (UOV membership is NP-complete; "
+                  "PARTITION reduction)");
+
+    Table t("Named PARTITION instances through the reduction");
+    t.header({"values", "partition?", "w in UOV(V)?", "agree",
+              "cone nodes"});
+
+    struct Named
+    {
+        const char *label;
+        std::vector<int64_t> values;
+    };
+    const Named named[] = {
+        {"{1,1}", {1, 1}},
+        {"{2,3,5}", {2, 3, 5}},
+        {"{1,1,4}", {1, 1, 4}},
+        {"{3,3,4,4}", {3, 3, 4, 4}},
+        {"{1,2,3,4,10}", {1, 2, 3, 4, 10}},
+        {"{5,5,5,5,5,5}", {5, 5, 5, 5, 5, 5}},
+    };
+    bool all_agree = true;
+    for (const Named &c : named) {
+        PartitionInstance inst{c.values};
+        bool partition = solvePartitionBruteForce(inst).has_value();
+        UovMembershipInstance red = buildReduction(inst);
+        UovOracle oracle(red.stencil);
+        bool member = oracle.isUov(red.query);
+        bool agree = partition == member;
+        all_agree = all_agree && agree;
+        t.addRow()
+            .cell(c.label)
+            .cell(partition ? "yes" : "no")
+            .cell(member ? "yes" : "no")
+            .cell(agree ? "yes" : "NO")
+            .cell(oracle.cone().nodesExpanded());
+    }
+    bench::emit(t, opt);
+
+    // Random sweep + work growth with n.
+    Table g("Exact-solver work vs instance size (random instances)");
+    g.header({"n", "instances", "agreements", "avg cone nodes",
+              "max cone nodes"});
+    SplitMix64 rng(19981004);
+    size_t max_n = opt.quick ? 6 : 9;
+    for (size_t n = 2; n <= max_n; ++n) {
+        uint64_t agreements = 0, total_nodes = 0, max_nodes = 0;
+        const int kInstances = 20;
+        for (int k = 0; k < kInstances; ++k) {
+            PartitionInstance inst;
+            for (size_t i = 0; i < n; ++i)
+                inst.values.push_back(1 + rng.nextInRange(0, 9));
+            int64_t total = 0;
+            for (int64_t v : inst.values)
+                total += v;
+            if (total % 2)
+                inst.values.back() += 1;
+
+            bool partition = solvePartitionBruteForce(inst).has_value();
+            UovMembershipInstance red = buildReduction(inst);
+            UovOracle oracle(red.stencil);
+            bool member = oracle.isUov(red.query);
+            if (partition == member)
+                ++agreements;
+            uint64_t nodes = oracle.cone().nodesExpanded();
+            total_nodes += nodes;
+            max_nodes = std::max(max_nodes, nodes);
+        }
+        g.addRow()
+            .cell(int64_t(n))
+            .cell(int64_t(kInstances))
+            .cell(agreements)
+            .cell(total_nodes / kInstances)
+            .cell(max_nodes);
+        all_agree = all_agree && (agreements == kInstances);
+    }
+    bench::emit(g, opt);
+
+    std::cout << "reduction sound on every instance: "
+              << (all_agree ? "yes" : "NO") << "\n";
+    return all_agree ? 0 : 1;
+}

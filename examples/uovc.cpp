@@ -1,0 +1,184 @@
+/**
+ * @file
+ * uovc: the storage-mapping compiler driver.
+ *
+ * Reads a loop-nest description (file argument or stdin; format in
+ * src/driver/nest_parser.h), runs dependence analysis and the UOV
+ * search, prints the storage plan, and optionally emits compilable C.
+ *
+ *   $ ./uovc nest.txt
+ *   $ ./uovc --emit-c --tiled 8x64 nest.txt > kernel.c
+ *   $ ./uovc --objective storage --layout blocked nest.txt
+ *   $ ./uovc --multi nest.txt        # per-array plans, multi-statement
+ */
+
+#include <dlfcn.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/multi.h"
+#include "analysis/pipeline.h"
+#include "codegen/codegen.h"
+#include "driver/nest_parser.h"
+#include "support/error.h"
+
+using namespace uov;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "usage: uovc [options] [nest-file]\n"
+        "  reads the nest from the file, or stdin when omitted\n"
+        "options:\n"
+        "  --objective shortest|storage   UOV search objective\n"
+        "  --layout interleaved|blocked   non-prime OV layout\n"
+        "  --emit-c                       print generated C\n"
+        "  --tiled TxS                    skewed-tiled codegen\n"
+        "  --run                          compile the generated C with\n"
+        "                                 the host cc, dlopen it, run\n"
+        "                                 it, and print a checksum\n"
+        "  --multi                        per-array multi-statement plan\n"
+        "  --example                      print an example nest file\n";
+}
+
+const char *kExample =
+    "# 5-point stencil over time (paper Section 5)\n"
+    "nest stencil5\n"
+    "bounds 1..18 0..99\n"
+    "statement B\n"
+    "  write B[0,0]\n"
+    "  read  B[-1,-2]\n"
+    "  read  B[-1,-1]\n"
+    "  read  B[-1,0]\n"
+    "  read  B[-1,1]\n"
+    "  read  B[-1,2]\n";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    PlanOptions popts;
+    bool emit_c = false, multi = false, run = false;
+    std::vector<int64_t> tiles;
+    std::string path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--example") {
+            std::cout << kExample;
+            return 0;
+        } else if (a == "--objective") {
+            std::string v = i + 1 < argc ? argv[++i] : "";
+            if (v == "shortest") {
+                popts.objective = SearchObjective::ShortestVector;
+            } else if (v == "storage") {
+                popts.objective = SearchObjective::BoundedStorage;
+            } else {
+                std::cerr << "bad --objective '" << v << "'\n";
+                return 2;
+            }
+        } else if (a == "--layout") {
+            std::string v = i + 1 < argc ? argv[++i] : "";
+            if (v == "interleaved") {
+                popts.layout = ModLayout::Interleaved;
+            } else if (v == "blocked") {
+                popts.layout = ModLayout::Blocked;
+            } else {
+                std::cerr << "bad --layout '" << v << "'\n";
+                return 2;
+            }
+        } else if (a == "--emit-c") {
+            emit_c = true;
+        } else if (a == "--run") {
+            run = true;
+        } else if (a == "--multi") {
+            multi = true;
+        } else if (a == "--tiled") {
+            std::string v = i + 1 < argc ? argv[++i] : "";
+            auto x = v.find('x');
+            if (x == std::string::npos) {
+                std::cerr << "bad --tiled '" << v << "', want TxS\n";
+                return 2;
+            }
+            tiles = {std::stoll(v.substr(0, x)),
+                     std::stoll(v.substr(x + 1))};
+        } else if (!a.empty() && a[0] == '-') {
+            std::cerr << "unknown option '" << a << "'\n";
+            usage();
+            return 2;
+        } else {
+            path = a;
+        }
+    }
+
+    try {
+        LoopNest nest = [&] {
+            if (path.empty())
+                return parseNest(std::cin);
+            std::ifstream f(path);
+            UOV_REQUIRE(f.good(), "cannot open '" << path << "'");
+            return parseNest(f);
+        }();
+
+        std::cerr << "parsed: " << nest.str() << "\n";
+
+        if (multi) {
+            MultiNestPlan plan = planMultiStatement(nest, popts.layout);
+            std::cout << plan.str() << "\n";
+            return 0;
+        }
+
+        MappingPlan plan = planStorageMapping(nest, 0, popts);
+        std::cout << plan.str() << "\n";
+
+        if (emit_c || run) {
+            CodegenOptions copts;
+            copts.storage = GenStorage::OvMapped;
+            if (!tiles.empty()) {
+                copts.schedule = GenSchedule::SkewedTiled;
+                copts.tile_sizes = tiles;
+            }
+            GeneratedCode code = generateC(nest, plan, copts);
+            if (emit_c)
+                std::cout << "\n" << code.source;
+            if (run) {
+                auto dir = std::filesystem::temp_directory_path() /
+                           ("uovc_" + nest.name());
+                std::filesystem::create_directories(dir);
+                std::string so =
+                    compileToSharedObject(code, dir.string());
+                void *handle =
+                    dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+                UOV_REQUIRE(handle, "dlopen failed: " << dlerror());
+                using KernelFn = void (*)(double *);
+                auto fn = reinterpret_cast<KernelFn>(
+                    dlsym(handle, code.function_name.c_str()));
+                UOV_REQUIRE(fn, "dlsym failed: " << dlerror());
+                std::vector<double> out(static_cast<size_t>(
+                    nest.hi()[1] - nest.lo()[1] + 1));
+                fn(out.data());
+                double checksum = 0;
+                for (double v : out)
+                    checksum += v;
+                std::cout << "ran " << so << ": output row of "
+                          << out.size() << " values, checksum "
+                          << checksum << "\n";
+                dlclose(handle);
+            }
+        }
+        return 0;
+    } catch (const UovError &e) {
+        std::cerr << "uovc: " << e.what() << "\n";
+        return 1;
+    }
+}

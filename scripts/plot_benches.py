@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Plot the scaling benches' CSV output as paper-style figures.
+
+Usage:
+    build/bench/bench_fig9_11_stencil_scaling --csv > stencil.csv
+    scripts/plot_benches.py stencil.csv -o fig9_11.png
+
+Each bench emits one CSV table per simulated machine when run with
+--csv; this script splits on header rows (first cell "Length" or
+"Problem Size" or "N=M"), plots every version column against the size
+column on log-x axes, and writes one subplot per machine -- the same
+layout as the paper's Figures 9-14.
+
+Requires matplotlib; degrades to a textual summary without it.
+"""
+
+import argparse
+import csv
+import sys
+
+SIZE_HEADERS = {"Length", "Problem Size", "N=M"}
+
+
+def parse_tables(path):
+    """Split a --csv dump into (header, rows) tables."""
+    tables = []
+    current = None
+    with open(path, newline="") as f:
+        for row in csv.reader(f):
+            if not row:
+                continue
+            if row[0] in SIZE_HEADERS:
+                current = {"header": row, "rows": []}
+                tables.append(current)
+            elif current is not None:
+                current["rows"].append(row)
+    return tables
+
+
+def to_number(cell):
+    return float(cell.replace(",", ""))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csv_file")
+    ap.add_argument("-o", "--output", default="bench.png")
+    ap.add_argument("--title", default="")
+    args = ap.parse_args()
+
+    tables = parse_tables(args.csv_file)
+    if not tables:
+        sys.exit("no size-indexed tables found in " + args.csv_file)
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib unavailable; textual summary instead:")
+        for i, t in enumerate(tables):
+            print(f"table {i}: columns {t['header']}")
+            for row in t["rows"]:
+                print("  ", row)
+        return
+
+    fig, axes = plt.subplots(1, len(tables),
+                             figsize=(6 * len(tables), 4.5),
+                             squeeze=False)
+    for ax, table in zip(axes[0], tables):
+        header = table["header"]
+        sizes = [to_number(r[0]) for r in table["rows"]]
+        for col in range(1, len(header)):
+            values = [to_number(r[col]) for r in table["rows"]]
+            ax.plot(sizes, values, marker="o", label=header[col])
+        ax.set_xscale("log")
+        ax.set_xlabel(header[0])
+        ax.set_ylabel("Cycles per Iteration")
+        ax.grid(True, alpha=0.3)
+        ax.legend(fontsize=7)
+    if args.title:
+        fig.suptitle(args.title)
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=140)
+    print("wrote", args.output)
+
+
+if __name__ == "__main__":
+    main()

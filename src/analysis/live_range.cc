@@ -1,0 +1,59 @@
+#include "analysis/live_range.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.h"
+
+namespace uov {
+
+LiveRangeResult
+maxLiveValues(const Schedule &schedule, const IVec &lo, const IVec &hi,
+              const Stencil &stencil)
+{
+    UOV_REQUIRE(lo.dim() == stencil.dim(), "dimension mismatch");
+
+    std::unordered_map<IVec, uint64_t, IVecHash> position;
+    std::vector<IVec> order;
+    schedule.forEach(lo, hi, [&](const IVec &q) {
+        position.emplace(q, order.size());
+        order.push_back(q);
+    });
+    size_t n = order.size();
+    UOV_REQUIRE(n > 0, "empty iteration space");
+
+    // Death time of each value: last in-domain consumer's position.
+    // Intervals are half-open [birth, death): a step reads its inputs
+    // before it writes, so the cell of a value consumed at step t is
+    // reusable by step t's own write (the v == ov case of the paper's
+    // mappings).  A value with no consumer occupies its cell for just
+    // its own step, [t, t+1).
+    std::vector<int64_t> delta(n + 1, 0);
+    for (size_t t = 0; t < n; ++t) {
+        const IVec &p = order[t];
+        uint64_t death = t;
+        for (const auto &v : stencil.deps()) {
+            auto it = position.find(p + v);
+            if (it != position.end())
+                death = std::max(death, it->second);
+        }
+        if (death == t)
+            death = t + 1; // no consumer: live during its own step
+        delta[t] += 1;
+        delta[death] -= 1;
+    }
+
+    LiveRangeResult r;
+    r.points = n;
+    int64_t live = 0;
+    int64_t total = 0;
+    for (size_t t = 0; t < n; ++t) {
+        live += delta[t];
+        r.max_live = std::max(r.max_live, live);
+        total += live;
+    }
+    r.avg_live = static_cast<double>(total) / static_cast<double>(n);
+    return r;
+}
+
+} // namespace uov

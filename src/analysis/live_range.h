@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Live-range analysis: the storage lower bound.
+ *
+ * Under a schedule sigma, the value produced at p is live from
+ * sigma(p) until its last in-domain consumer runs.  No storage
+ * mapping whatsoever can use fewer cells than the maximum number of
+ * simultaneously live values, so this is the yardstick the paper's
+ * numbers sit against: the storage-optimized codes sit essentially on
+ * the bound for their fixed schedule, the UOV mapping sits slightly
+ * above the *worst* legal schedule's bound -- the price of schedule
+ * independence.
+ */
+
+#ifndef UOV_ANALYSIS_LIVE_RANGE_H
+#define UOV_ANALYSIS_LIVE_RANGE_H
+
+#include <cstdint>
+
+#include "core/stencil.h"
+#include "schedule/schedule.h"
+
+namespace uov {
+
+/** Live-value statistics of one scheduled execution. */
+struct LiveRangeResult
+{
+    int64_t max_live = 0;   ///< peak simultaneously live values
+    double avg_live = 0.0;  ///< time-averaged live values
+    uint64_t points = 0;
+};
+
+/**
+ * Exact live-range sweep of @p schedule over [lo, hi] with consumers
+ * given by @p stencil.  A value with no in-domain consumer is live
+ * only during its producing step.
+ */
+LiveRangeResult maxLiveValues(const Schedule &schedule, const IVec &lo,
+                              const IVec &hi, const Stencil &stencil);
+
+} // namespace uov
+
+#endif // UOV_ANALYSIS_LIVE_RANGE_H

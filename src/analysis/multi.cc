@@ -1,0 +1,136 @@
+#include "analysis/multi.h"
+
+#include <sstream>
+
+#include "core/uov.h"
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace uov {
+
+namespace {
+
+/** Distance of a read from the write of the same array. */
+IVec
+flowDistance(const Access &write, const Access &read)
+{
+    UOV_REQUIRE(write.coef.rows() == write.coef.cols() &&
+                    write.coef.isUnimodular(),
+                "write of " << write.array
+                            << " must be unimodular for constant "
+                               "distances");
+    UOV_REQUIRE(read.coef == write.coef,
+                "read " << read.str() << " does not share "
+                        << write.array << "'s linear part");
+    return write.coef.inverseUnimodular() *
+           (write.offset - read.offset);
+}
+
+} // namespace
+
+std::string
+ArrayStoragePlan::str() const
+{
+    std::ostringstream oss;
+    oss << array << ": uov " << uov << ", " << mapping.cellCount()
+        << " cells, consumers {";
+    for (size_t i = 0; i < consumers.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << consumers[i];
+    }
+    oss << "}";
+    return oss.str();
+}
+
+int64_t
+MultiNestPlan::totalCells() const
+{
+    int64_t total = 0;
+    for (const auto &a : arrays)
+        total += a.mapping.cellCount();
+    return total;
+}
+
+std::string
+MultiNestPlan::str() const
+{
+    std::ostringstream oss;
+    oss << "schedule cone " << schedule_cone.str() << "\n";
+    for (const auto &a : arrays)
+        oss << "  " << a.str() << "\n";
+    oss << "total cells: " << totalCells();
+    return oss.str();
+}
+
+std::vector<IVec>
+consumerDistances(const LoopNest &nest, const std::string &array)
+{
+    size_t writer = nest.writerOf(array);
+    UOV_REQUIRE(writer != LoopNest::npos,
+                "array " << array << " has no writer in " << nest.name());
+    const Access &write = nest.statement(writer).write;
+
+    std::vector<IVec> consumers;
+    for (size_t si = 0; si < nest.statements().size(); ++si) {
+        const Statement &stmt = nest.statement(si);
+        for (const auto &read : stmt.reads) {
+            if (read.array != array)
+                continue;
+            IVec d = flowDistance(write, read);
+            if (d.isLexPositive()) {
+                consumers.push_back(d);
+            } else if (d.isZero()) {
+                // Same-iteration use: a value-based flow only when the
+                // reader runs after the writer within the body.
+                if (si > writer)
+                    consumers.push_back(d);
+                // si <= writer: reads the previous value -- an import,
+                // not a consumer of this iteration's value.
+            }
+            // Lex-negative: import; never consumes in-nest values.
+        }
+    }
+    return consumers;
+}
+
+MultiNestPlan
+planMultiStatement(const LoopNest &nest, ModLayout layout)
+{
+    // Schedule cone: every loop-carried flow dependence of any array.
+    std::vector<IVec> cone_deps;
+    for (size_t si = 0; si < nest.statements().size(); ++si) {
+        const std::string &array = nest.statement(si).write.array;
+        for (const auto &d : consumerDistances(nest, array))
+            if (d.isLexPositive())
+                cone_deps.push_back(d);
+    }
+    UOV_REQUIRE(!cone_deps.empty(),
+                "nest " << nest.name()
+                        << " carries no flow dependences; storage "
+                           "mapping is trivial");
+    Stencil cone(std::move(cone_deps));
+
+    MultiNestPlan plan{cone, {}};
+    Polyhedron domain = nest.domain();
+    for (size_t si = 0; si < nest.statements().size(); ++si) {
+        const std::string &array = nest.statement(si).write.array;
+        std::vector<IVec> consumers = consumerDistances(nest, array);
+        UOV_REQUIRE(!consumers.empty(),
+                    "array " << array
+                             << " is written but never consumed "
+                                "in-nest; exclude it from OV mapping");
+
+        GeneralUovOracle oracle(cone, consumers);
+        IVec uov = oracle.searchShortest();
+        StorageMapping mapping =
+            StorageMapping::create(uov, domain, layout);
+        UOV_LOG_INFO("multi-plan " << array << ": uov " << uov << ", "
+                                   << mapping.cellCount() << " cells");
+        plan.arrays.push_back(ArrayStoragePlan{
+            array, si, std::move(consumers), uov, std::move(mapping)});
+    }
+    return plan;
+}
+
+} // namespace uov

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Multi-statement storage planning (the paper's Section 3 note --
+ * "If the loop has multiple assignments, we would treat each
+ * separately, resulting in disjoint storage" -- plus its Section 7
+ * future work, cross-statement consumers handled exactly).
+ *
+ * For a nest with several assignment statements:
+ *  - legal schedules are constrained by the union of ALL loop-carried
+ *    flow dependences (the schedule cone);
+ *  - each written array's liveness is governed by its own consumer
+ *    distances, which may come from *other* statements, including
+ *    same-iteration (distance zero) uses by textually later
+ *    statements;
+ *  - each array gets its own occupancy vector, safe under every legal
+ *    schedule of the whole nest, and its own disjoint OVArray.
+ *
+ * The protein-matching DP with its score and gap-chain arrays is the
+ * canonical two-statement instance (see tests).
+ */
+
+#ifndef UOV_ANALYSIS_MULTI_H
+#define UOV_ANALYSIS_MULTI_H
+
+#include <string>
+#include <vector>
+
+#include "core/stencil.h"
+#include "ir/program.h"
+#include "mapping/storage_mapping.h"
+
+namespace uov {
+
+/** Storage decision for one written array. */
+struct ArrayStoragePlan
+{
+    std::string array;
+    size_t statement_index;
+    std::vector<IVec> consumers; ///< flow distances into reads, all stmts
+    IVec uov;                    ///< safe under every legal nest schedule
+    StorageMapping mapping;
+
+    std::string str() const;
+};
+
+/** Whole-nest storage plan: disjoint per-array OV storage. */
+struct MultiNestPlan
+{
+    Stencil schedule_cone; ///< union of loop-carried flow dependences
+    std::vector<ArrayStoragePlan> arrays;
+
+    /** Total cells over all arrays. */
+    int64_t totalCells() const;
+
+    std::string str() const;
+};
+
+/**
+ * Plan storage for every statement of @p nest.
+ *
+ * @throws UovUserError when the nest has no loop-carried flow at all,
+ *         or when a cross-statement read breaks the uniform-access
+ *         precondition.
+ */
+MultiNestPlan planMultiStatement(const LoopNest &nest,
+                                 ModLayout layout =
+                                     ModLayout::Interleaved);
+
+/**
+ * Cross-statement value-flow extraction for one written array:
+ * distances of every read of @p array across all statements, with
+ * zero-distance reads allowed only from textually later statements.
+ */
+std::vector<IVec> consumerDistances(const LoopNest &nest,
+                                    const std::string &array);
+
+} // namespace uov
+
+#endif // UOV_ANALYSIS_MULTI_H

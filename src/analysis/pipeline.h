@@ -1,0 +1,67 @@
+/**
+ * @file
+ * End-to-end storage-mapping pipeline: the compiler pass a user of the
+ * library calls.
+ *
+ * Given a loop nest and a statement, it (1) runs value-based
+ * dependence analysis and validates the regular-stencil precondition,
+ * (2) runs region analysis to confirm the statement produces
+ * temporaries, (3) searches for the best UOV (shortest-vector or
+ * storage objective over the nest's own domain), and (4) constructs
+ * the concrete storage mapping.  The result carries everything the
+ * paper's tables report: stencil, UOV, cell count, expansion cost.
+ */
+
+#ifndef UOV_ANALYSIS_PIPELINE_H
+#define UOV_ANALYSIS_PIPELINE_H
+
+#include <optional>
+#include <string>
+
+#include "analysis/dependence.h"
+#include "analysis/region.h"
+#include "core/search.h"
+#include "ir/program.h"
+#include "mapping/storage_mapping.h"
+
+namespace uov {
+
+/** Pipeline configuration. */
+struct PlanOptions
+{
+    /** Objective for the UOV search. */
+    SearchObjective objective = SearchObjective::ShortestVector;
+    /** Layout for non-prime OVs. */
+    ModLayout layout = ModLayout::Interleaved;
+    /** Live-out region (defaults to "nothing survives"). */
+    LiveOutPredicate live_out;
+    /** Skip the B&B search and use the initial UOV (ablation). */
+    bool use_initial_uov = false;
+};
+
+/** Everything the pipeline derives for one statement. */
+struct MappingPlan
+{
+    Stencil stencil;
+    SearchResult search;      ///< best UOV and search statistics
+    StorageMapping mapping;   ///< concrete SM over the nest's domain
+    RegionSummary regions;    ///< import/export/temporary summary
+    int64_t expanded_cells;   ///< full-expansion baseline (trip count)
+
+    /** Storage saved vs. full expansion, as a ratio >= 1. */
+    double expansionRatio() const;
+
+    std::string str() const;
+};
+
+/**
+ * Run the full pipeline on statement @p stmt_index of @p nest.
+ * @throws UovUserError when the preconditions fail (no regular
+ *         stencil, no flow dependences, no temporaries)
+ */
+MappingPlan planStorageMapping(const LoopNest &nest, size_t stmt_index,
+                               const PlanOptions &options = {});
+
+} // namespace uov
+
+#endif // UOV_ANALYSIS_PIPELINE_H

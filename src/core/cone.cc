@@ -1,0 +1,122 @@
+#include "core/cone.h"
+
+#include "support/checked.h"
+#include "support/error.h"
+
+namespace uov {
+
+ConeSolver::ConeSolver(Stencil stencil, uint64_t max_nodes)
+    : _stencil(std::move(stencil)), _max_nodes(max_nodes)
+{
+    _h = _stencil.positiveFunctional();
+    for (size_t c = 0; c < _stencil.dim(); ++c) {
+        if (_stencil.allNonNegativeInCoord(c))
+            _non_neg_coords.push_back(c);
+        if (_stencil.allNonPositiveInCoord(c))
+            _non_pos_coords.push_back(c);
+    }
+
+    if (!_h) {
+        // Without a positive functional we must still guarantee
+        // termination: require some coordinate in which every
+        // dependence strictly advances.
+        bool ok = false;
+        for (size_t c = 0; c < _stencil.dim() && !ok; ++c) {
+            bool strict = true;
+            for (const auto &v : _stencil.deps())
+                if (v[c] <= 0)
+                    strict = false;
+            ok = strict;
+        }
+        UOV_REQUIRE(ok, "stencil " << _stencil.str()
+                        << " defeats both the exact positive functional "
+                           "(overflow) and component-wise termination");
+    }
+}
+
+bool
+ConeSolver::prunedOut(const IVec &w) const
+{
+    for (size_t c : _non_neg_coords)
+        if (w[c] < 0)
+            return true;
+    for (size_t c : _non_pos_coords)
+        if (w[c] > 0)
+            return true;
+    if (_h) {
+        // h . w == sum a_i (h . v_i) with every h . v_i > 0, so any
+        // nonzero cone member has h . w > 0.
+        int64_t hw = _h->dot(w);
+        if (hw < 0 || (hw == 0 && !w.isZero()))
+            return true;
+    }
+    return false;
+}
+
+bool
+ConeSolver::search(const IVec &w, uint32_t depth)
+{
+    if (w.isZero())
+        return true;
+    if (prunedOut(w))
+        return false;
+
+    auto it = _memo.find(w);
+    if (it != _memo.end())
+        return it->second;
+
+    ++_nodes;
+    UOV_REQUIRE(_nodes <= _max_nodes,
+                "cone membership search budget of " << _max_nodes
+                    << " nodes exceeded (stencil " << _stencil.str() << ")");
+    UOV_CHECK(depth < 1u << 20, "cone search depth runaway");
+
+    bool found = false;
+    for (const auto &v : _stencil.deps()) {
+        if (search(w - v, depth + 1)) {
+            found = true;
+            break;
+        }
+    }
+    _memo.emplace(w, found);
+    return found;
+}
+
+bool
+ConeSolver::contains(const IVec &w)
+{
+    UOV_REQUIRE(w.dim() == _stencil.dim(),
+                "vector dimension " << w.dim() << " != stencil dimension "
+                                    << _stencil.dim());
+    return search(w, 0);
+}
+
+std::optional<std::vector<int64_t>>
+ConeSolver::certificate(const IVec &w)
+{
+    if (!contains(w))
+        return std::nullopt;
+
+    std::vector<int64_t> coeffs(_stencil.size(), 0);
+    IVec rest = w;
+    // Greedy reconstruction: at each step some v_i must lead to a
+    // residue still in the cone (contains() is memoized, so this walk
+    // is cheap).
+    while (!rest.isZero()) {
+        bool stepped = false;
+        for (size_t i = 0; i < _stencil.size(); ++i) {
+            IVec next = rest - _stencil.dep(i);
+            if (contains(next)) {
+                ++coeffs[i];
+                rest = next;
+                stepped = true;
+                break;
+            }
+        }
+        UOV_CHECK(stepped, "certificate reconstruction stalled at "
+                               << rest.str());
+    }
+    return coeffs;
+}
+
+} // namespace uov

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Non-negative integer cone membership for a dependence stencil.
+ *
+ * The fundamental question behind DONE / DEAD / UOV (Section 3.1): is a
+ * vector w expressible as w = sum_i a_i * v_i with every a_i a
+ * non-negative integer?  This is the problem whose "for each i, with
+ * a_ii >= 1" variant the paper proves NP-complete, so the solver is an
+ * exact exponential-worst-case memoized search -- fast in practice
+ * because real stencils are tiny (the paper's own argument, Section 7).
+ */
+
+#ifndef UOV_CORE_CONE_H
+#define UOV_CORE_CONE_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/stencil.h"
+#include "geometry/ivec.h"
+
+namespace uov {
+
+/** Exact decision procedure for w in cone_{Z>=0}(V), with memoization. */
+class ConeSolver
+{
+  public:
+    /**
+     * @param stencil the dependence set V
+     * @param max_nodes search-budget safety valve; exceeded only by
+     *        adversarial instances, throws UovError
+     */
+    explicit ConeSolver(Stencil stencil, uint64_t max_nodes = 50'000'000);
+
+    const Stencil &stencil() const { return _stencil; }
+
+    /** Is w a non-negative integer combination of the stencil vectors? */
+    bool contains(const IVec &w);
+
+    /**
+     * Coefficient certificate: a vector a with w == sum a_i * v_i and
+     * all a_i >= 0, or nullopt when w is not in the cone.  Coefficient
+     * order matches stencil().deps().
+     */
+    std::optional<std::vector<int64_t>> certificate(const IVec &w);
+
+    /** Number of memoized subproblems (for search diagnostics). */
+    uint64_t memoSize() const { return _memo.size(); }
+
+    /** Total recursion nodes expanded so far. */
+    uint64_t nodesExpanded() const { return _nodes; }
+
+  private:
+    bool search(const IVec &w, uint32_t depth);
+
+    /** Cheap certain-rejection tests; true means "definitely not". */
+    bool prunedOut(const IVec &w) const;
+
+    Stencil _stencil;
+    std::optional<IVec> _h;              ///< positive functional, if exact
+    std::vector<size_t> _non_neg_coords; ///< coords with all v[c] >= 0
+    std::vector<size_t> _non_pos_coords; ///< coords with all v[c] <= 0
+    uint64_t _max_nodes;
+    uint64_t _nodes = 0;
+    std::unordered_map<IVec, bool, IVecHash> _memo;
+};
+
+} // namespace uov
+
+#endif // UOV_CORE_CONE_H

@@ -1,0 +1,104 @@
+#include "core/cone_pruner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/checked.h"
+
+namespace uov {
+
+namespace {
+
+/// Safety factor: lower bounds shrink slightly so floating-point error
+/// can never over-prune.
+constexpr double kSafety = 0.999;
+
+double
+distSquaredPointToRay(double px, double py, double ex, double ey)
+{
+    double e2 = ex * ex + ey * ey;
+    double t = (px * ex + py * ey) / e2;
+    if (t < 0)
+        t = 0;
+    double dx = px - t * ex;
+    double dy = py - t * ey;
+    return dx * dx + dy * dy;
+}
+
+} // namespace
+
+ConePruner::ConePruner(const Stencil &stencil)
+    : _dim(stencil.dim()), _exact2d(stencil.dim() == 2)
+{
+    if (_exact2d) {
+        auto [lo, hi] = stencil.extremeVectors2D();
+        _ray_lo = lo;
+        _ray_hi = hi;
+    }
+
+    // Dual functionals valid in any dimension: coordinate axes on which
+    // all dependences share a sign, and the exact positive functional.
+    for (size_t c = 0; c < _dim; ++c) {
+        if (stencil.allNonNegativeInCoord(c)) {
+            IVec u(_dim);
+            u[c] = 1;
+            _dualFunctionals.push_back(u);
+        }
+        if (stencil.allNonPositiveInCoord(c)) {
+            IVec u(_dim);
+            u[c] = -1;
+            _dualFunctionals.push_back(u);
+        }
+    }
+    if (auto h = stencil.positiveFunctional())
+        _dualFunctionals.push_back(*h);
+}
+
+double
+ConePruner::minReachableNormSquared(const IVec &w) const
+{
+    if (_exact2d) {
+        // min |w + c| over the real cone = distance from -w to the cone
+        // spanned by the extreme rays.
+        double px = -static_cast<double>(w[0]);
+        double py = -static_cast<double>(w[1]);
+        double lox = static_cast<double>(_ray_lo[0]);
+        double loy = static_cast<double>(_ray_lo[1]);
+        double hix = static_cast<double>(_ray_hi[0]);
+        double hiy = static_cast<double>(_ray_hi[1]);
+
+        // -w inside the cone?  The cone is salient (all dependences in
+        // the lexicographic half-plane), so "between the extreme rays"
+        // is two cross-product tests -- except in the degenerate
+        // single-ray case, where the sign along the ray decides.
+        double cross_lo = lox * py - loy * px; // lo x p >= 0: p ccw of lo
+        double cross_hi = px * hiy - py * hix; // p x hi >= 0: p cw of hi
+        bool degenerate = (lox * hiy - loy * hix) == 0;
+        if (degenerate) {
+            if (cross_lo == 0 && px * lox + py * loy >= 0)
+                return 0.0;
+        } else if (cross_lo >= 0 && cross_hi >= 0) {
+            return 0.0;
+        }
+        double d = std::min(distSquaredPointToRay(px, py, lox, loy),
+                            distSquaredPointToRay(px, py, hix, hiy));
+        return d * kSafety;
+    }
+
+    // General dimension: |w + c| >= u.(w + c)/|u| >= u.w/|u| for any
+    // dual functional u (u.c >= 0 on the cone).
+    double best = 0.0;
+    for (const auto &u : _dualFunctionals) {
+        double uw = 0.0, uu = 0.0;
+        for (size_t i = 0; i < _dim; ++i) {
+            uw += static_cast<double>(u[i]) * static_cast<double>(w[i]);
+            uu += static_cast<double>(u[i]) * static_cast<double>(u[i]);
+        }
+        if (uw <= 0)
+            continue;
+        best = std::max(best, uw * uw / uu);
+    }
+    return best * kSafety;
+}
+
+} // namespace uov

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Geometric pruning for the UOV search (Section 3.2.1, Figure 4).
+ *
+ * During the backward search, the offset w accumulated so far can only
+ * grow by further stencil vectors: any candidate reachable from w has
+ * the form w + c with c in the real cone spanned by V.  If even the
+ * closest such point lies outside the current search radius, w is
+ * pruned.  The reachable-region test {w : dist(-w, cone(V)) < R} is
+ * exactly the paper's extreme-vector parallelepiped in 2-D, and a
+ * conservative dual-functional bound in higher dimensions.
+ */
+
+#ifndef UOV_CORE_CONE_PRUNER_H
+#define UOV_CORE_CONE_PRUNER_H
+
+#include <optional>
+#include <vector>
+
+#include "core/stencil.h"
+#include "geometry/ivec.h"
+
+namespace uov {
+
+/** Lower-bounds the distance from offsets to cone-reachable candidates. */
+class ConePruner
+{
+  public:
+    explicit ConePruner(const Stencil &stencil);
+
+    /**
+     * A lower bound on min over real c in cone(V) of |w + c|^2.
+     * Exact in 2-D; conservative (possibly 0 = "cannot prune") in
+     * higher dimensions.  Includes a small safety factor so floating
+     * point can never prune a genuinely reachable candidate.
+     */
+    double minReachableNormSquared(const IVec &w) const;
+
+    /** True iff no point within squared radius is reachable from w. */
+    bool
+    prune(const IVec &w, int64_t radius_squared) const
+    {
+        return minReachableNormSquared(w) >=
+               static_cast<double>(radius_squared);
+    }
+
+  private:
+    size_t _dim;
+    bool _exact2d;
+    IVec _ray_lo; ///< clockwise-most extreme dependence (2-D)
+    IVec _ray_hi; ///< counter-clockwise-most extreme dependence (2-D)
+
+    /** Dual functionals u with u . v >= 0 for every dependence. */
+    std::vector<IVec> _dualFunctionals;
+};
+
+} // namespace uov
+
+#endif // UOV_CORE_CONE_PRUNER_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DONE and DEAD sets (Section 3.1, Figure 2).
+ *
+ * For a stencil V and an iteration point q:
+ *   DONE(V, q) = { p | q - p is a non-negative integer combination of V }
+ *                -- points that must execute before q under any legal
+ *                schedule;
+ *   DEAD(V, q) = { p | for every v in V, p + v is in DONE(V, q) }
+ *                -- points whose produced value is certainly consumed
+ *                once q's inputs are available.
+ * DEAD(V, q) is a subset of DONE(V, q), and
+ * UOV(V) = { q - p | p in DEAD(V, q) }, independent of q.
+ */
+
+#ifndef UOV_CORE_DONE_DEAD_H
+#define UOV_CORE_DONE_DEAD_H
+
+#include <vector>
+
+#include "core/cone.h"
+#include "geometry/ivec.h"
+
+namespace uov {
+
+/** Queries and enumerations over DONE / DEAD sets. */
+class DoneDeadAnalysis
+{
+  public:
+    explicit DoneDeadAnalysis(Stencil stencil);
+
+    const Stencil &stencil() const { return _cone.stencil(); }
+
+    /**
+     * Is p in DONE(V, q)?  Note q itself is in DONE(V, q): the
+     * defining combination allows all-zero coefficients.
+     */
+    bool isDone(const IVec &q, const IVec &p);
+
+    /** Is p in DEAD(V, q)? */
+    bool isDead(const IVec &q, const IVec &p);
+
+    /** All DONE points within the box [lo, hi] around q. */
+    std::vector<IVec> enumerateDone(const IVec &q, const IVec &lo,
+                                    const IVec &hi);
+
+    /** All DEAD points within the box [lo, hi] around q. */
+    std::vector<IVec> enumerateDead(const IVec &q, const IVec &lo,
+                                    const IVec &hi);
+
+  private:
+    template <typename Pred>
+    std::vector<IVec> enumerateBox(const IVec &lo, const IVec &hi,
+                                   Pred pred);
+
+    ConeSolver _cone;
+};
+
+} // namespace uov
+
+#endif // UOV_CORE_DONE_DEAD_H

@@ -1,0 +1,61 @@
+#include "core/greedy.h"
+
+#include "core/uov.h"
+#include "support/error.h"
+
+namespace uov {
+
+GreedyResult
+greedyUovSearch(const Stencil &stencil)
+{
+    UovOracle oracle(stencil);
+    GreedyResult r;
+    r.uov = stencil.initialUov();
+    r.objective = r.uov.normSquared();
+
+    bool improved = true;
+    while (improved) {
+        improved = false;
+
+        // Move 1: divide out the content (e.g. (4,0) -> (2,0) when
+        // still universal).
+        int64_t g = r.uov.content();
+        if (g > 1) {
+            for (int64_t div = g; div >= 2; --div) {
+                if (g % div != 0)
+                    continue;
+                IVec cand = r.uov.dividedBy(div);
+                ++r.probes;
+                if (oracle.isUov(cand) &&
+                    cand.normSquared() < r.objective) {
+                    r.uov = cand;
+                    r.objective = cand.normSquared();
+                    ++r.moves;
+                    improved = true;
+                    break;
+                }
+            }
+            if (improved)
+                continue;
+        }
+
+        // Move 2: subtract a stencil vector.
+        for (const auto &v : stencil.deps()) {
+            IVec cand = r.uov - v;
+            if (cand.isZero())
+                continue;
+            ++r.probes;
+            if (oracle.isUov(cand) && cand.normSquared() < r.objective) {
+                r.uov = cand;
+                r.objective = cand.normSquared();
+                ++r.moves;
+                improved = true;
+                break;
+            }
+        }
+    }
+    UOV_CHECK(oracle.isUov(r.uov), "greedy result must stay universal");
+    return r;
+}
+
+} // namespace uov

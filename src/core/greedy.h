@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Greedy UOV improvement: a linear-time heuristic alternative to the
+ * branch-and-bound search ("a compiler could limit the amount of time
+ * the algorithm runs", Section 3.2.2, taken to its extreme).
+ *
+ * Starting from the always-legal initial UOV (sum of the stencil),
+ * repeatedly try local moves that keep the vector universal and
+ * shrink the objective: subtracting a stencil vector, and dividing
+ * out the content.  Terminates at a local optimum.  Cheap, often
+ * optimal on real stencils -- and provably not always (the ablation
+ * bench exhibits the gap).
+ */
+
+#ifndef UOV_CORE_GREEDY_H
+#define UOV_CORE_GREEDY_H
+
+#include "core/search.h"
+#include "core/stencil.h"
+
+namespace uov {
+
+/** Outcome of the greedy descent. */
+struct GreedyResult
+{
+    IVec uov;             ///< the local optimum (always a UOV)
+    int64_t objective;    ///< its squared length
+    uint64_t moves = 0;   ///< accepted improvement moves
+    uint64_t probes = 0;  ///< oracle queries made
+};
+
+/**
+ * Greedy descent from the initial UOV under the shortest-vector
+ * objective. Deterministic.
+ */
+GreedyResult greedyUovSearch(const Stencil &stencil);
+
+} // namespace uov
+
+#endif // UOV_CORE_GREEDY_H

@@ -1,0 +1,86 @@
+#include "core/reduction.h"
+
+#include "support/checked.h"
+#include "support/error.h"
+
+namespace uov {
+
+int64_t
+PartitionInstance::half() const
+{
+    int64_t total = 0;
+    for (int64_t a : values)
+        total = checkedAdd(total, a);
+    UOV_REQUIRE(total % 2 == 0, "partition instance total " << total
+                                    << " is odd: trivially unsolvable, "
+                                       "construction undefined");
+    return total / 2;
+}
+
+bool
+PartitionInstance::valid() const
+{
+    if (values.empty())
+        return false;
+    int64_t total = 0;
+    for (int64_t a : values) {
+        if (a <= 0)
+            return false;
+        total = checkedAdd(total, a);
+    }
+    return total % 2 == 0;
+}
+
+UovMembershipInstance
+buildReduction(const PartitionInstance &instance)
+{
+    UOV_REQUIRE(instance.valid(),
+                "reduction needs positive values with an even sum");
+    auto n = static_cast<int64_t>(instance.values.size());
+    UOV_REQUIRE(n <= 12, "reduction limited to n <= 12 (magic "
+                         "coordinates must fit int64, stencil must fit "
+                         "32 vectors); got n=" << n);
+
+    // powers[i] = (n+1)^i, exactly.
+    std::vector<int64_t> powers(n + 1);
+    powers[0] = 1;
+    for (int64_t i = 1; i <= n; ++i)
+        powers[i] = checkedMul(powers[i - 1], n + 1);
+
+    std::vector<IVec> deps;
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t magic = checkedAdd(powers[i], powers[n]);
+        deps.push_back(IVec{0, magic});
+        deps.push_back(IVec{instance.values[i], magic});
+    }
+
+    // w = (h, n*(n+1)^n + ((n+1)^n - 1)/n): the second coordinate is
+    // the sum over i of the magic values, so exactly n stencil vectors
+    // -- one per index -- participate in any decomposition.
+    int64_t h = instance.half();
+    int64_t geo = (powers[n] - 1) / n; // sum_{i<n} (n+1)^i, exact
+    int64_t w2 = checkedAdd(checkedMul(n, powers[n]), geo);
+
+    return UovMembershipInstance{Stencil(std::move(deps)), IVec{h, w2}};
+}
+
+std::optional<uint64_t>
+solvePartitionBruteForce(const PartitionInstance &instance)
+{
+    UOV_REQUIRE(instance.valid(), "invalid partition instance");
+    size_t n = instance.values.size();
+    UOV_REQUIRE(n <= 24, "brute force limited to n <= 24");
+    int64_t h = instance.half();
+
+    for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+        int64_t sum = 0;
+        for (size_t i = 0; i < n; ++i)
+            if (mask & (1ull << i))
+                sum += instance.values[i];
+        if (sum == h)
+            return mask;
+    }
+    return std::nullopt;
+}
+
+} // namespace uov

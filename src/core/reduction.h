@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The paper's NP-completeness reduction (Section 3.1 theorem):
+ * PARTITION reduces to UOV membership.
+ *
+ * For a sequence a_0 ... a_{n-1} of positive integers with even sum
+ * 2h, the constructed stencil contains, for each i,
+ *     r_i = (0,   (n+1)^i + (n+1)^n)
+ *     s_i = (a_i, (n+1)^i + (n+1)^n)
+ * and the query vector is
+ *     w = (h, n*(n+1)^n + ((n+1)^n - 1)/n).
+ *
+ * The magic second coordinates force any cone decomposition of w to
+ * pick exactly one of {r_i, s_i} for every i; the chosen s_i's then
+ * sum their a_i's to h, i.e. solve PARTITION.  Conversely a partition
+ * S yields the decomposition choosing s_i for i in S -- and because the
+ * complement of S is also a solution, every stencil vector appears in
+ * some decomposition, which is exactly UOV membership.
+ */
+
+#ifndef UOV_CORE_REDUCTION_H
+#define UOV_CORE_REDUCTION_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/stencil.h"
+#include "geometry/ivec.h"
+
+namespace uov {
+
+/** An instance of PARTITION: positive integers with an even sum. */
+struct PartitionInstance
+{
+    std::vector<int64_t> values;
+
+    /** Half the total (the target subset sum). @pre total is even */
+    int64_t half() const;
+
+    /** True iff construction preconditions hold. */
+    bool valid() const;
+};
+
+/** The constructed UOV-membership instance. */
+struct UovMembershipInstance
+{
+    Stencil stencil;
+    IVec query; ///< the w whose UOV membership encodes PARTITION
+};
+
+/**
+ * Build the reduction instance.
+ * @pre instance.valid() and instance.values.size() <= 12 (so the magic
+ *      coordinates fit in int64 and the stencil fits 32 vectors)
+ */
+UovMembershipInstance buildReduction(const PartitionInstance &instance);
+
+/**
+ * Decide PARTITION by brute force (2^n subsets); returns a solving
+ * subset as a bitmask, or nullopt.  Reference oracle for tests.
+ */
+std::optional<uint64_t> solvePartitionBruteForce(
+    const PartitionInstance &instance);
+
+} // namespace uov
+
+#endif // UOV_CORE_REDUCTION_H

@@ -1,0 +1,259 @@
+#include "core/search.h"
+
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/storage_count.h"
+#include "core/uov.h"
+#include "support/checked.h"
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace uov {
+
+std::string
+SearchStats::str() const
+{
+    std::ostringstream oss;
+    oss << "visited=" << visited << " enqueued=" << enqueued
+        << " pruned=" << pruned << " bound_updates=" << bound_updates
+        << " visits_to_best=" << visits_to_best
+        << (hit_visit_cap ? " (visit cap hit)" : "");
+    return oss.str();
+}
+
+BranchBoundSearch::BranchBoundSearch(Stencil stencil,
+                                     SearchObjective objective,
+                                     SearchOptions options)
+    : _stencil(std::move(stencil)), _objective(objective),
+      _options(std::move(options)), _pruner(_stencil)
+{
+    if (_objective == SearchObjective::BoundedStorage) {
+        UOV_REQUIRE(_options.isg.has_value(),
+                    "BoundedStorage objective requires an ISG");
+        UOV_REQUIRE(_options.isg->dim() == _stencil.dim(),
+                    "ISG dimension " << _options.isg->dim()
+                        << " != stencil dimension " << _stencil.dim());
+    }
+}
+
+int64_t
+BranchBoundSearch::objectiveOf(const IVec &w) const
+{
+    switch (_objective) {
+      case SearchObjective::ShortestVector:
+        return w.normSquared();
+      case SearchObjective::BoundedStorage:
+        return storageCellCount(w, *_options.isg);
+    }
+    UOV_UNREACHABLE("bad objective");
+}
+
+SearchResult
+BranchBoundSearch::run()
+{
+    const size_t m = _stencil.size();
+    const uint32_t full_mask =
+        m == 32 ? 0xffffffffu : ((1u << m) - 1);
+
+    SearchResult result;
+    result.best_uov = _stencil.initialUov();
+    result.initial_objective = objectiveOf(result.best_uov);
+    result.best_objective = result.initial_objective;
+
+    // Search region: offsets from which a better candidate is still
+    // reachable.  For the shortest objective the radius shrinks with
+    // the bound; for bounded storage it is fixed by the paper's
+    // P_ovo * |ov_o| / P_M argument (shrinking it from improved
+    // storage bounds is unsound for skewed ISGs, where storage does
+    // not cleanly lower-bound length).
+    int64_t radius_sq;
+    if (_objective == SearchObjective::ShortestVector) {
+        radius_sq = result.best_uov.normSquared();
+    } else {
+        radius_sq =
+            knownBoundsRadiusSquared(result.best_uov, *_options.isg);
+    }
+
+    // Per-offset PATHSET state: best-known mask and the mask already
+    // expanded with.  A point is (re)expanded only when its known mask
+    // gained bits, so each offset is expanded at most |V| times.
+    struct PointState
+    {
+        uint32_t known = 0;
+        uint32_t expanded = 0;
+    };
+    std::unordered_map<IVec, PointState, IVecHash> state;
+
+    struct QueueEntry
+    {
+        int64_t priority;
+        uint64_t seq;
+        IVec w;
+    };
+    struct EntryGreater
+    {
+        bool
+        operator()(const QueueEntry &a, const QueueEntry &b) const
+        {
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryGreater>
+        pq;
+    std::deque<QueueEntry> fifo;
+    uint64_t seq = 0;
+
+    auto push = [&](const IVec &w) {
+        QueueEntry e{objectiveOf(w), seq++, w};
+        if (_options.use_priority_queue)
+            pq.push(std::move(e));
+        else
+            fifo.push_back(std::move(e));
+        ++result.stats.enqueued;
+    };
+    auto empty = [&] {
+        return _options.use_priority_queue ? pq.empty() : fifo.empty();
+    };
+    auto pop = [&] {
+        if (_options.use_priority_queue) {
+            QueueEntry e = pq.top();
+            pq.pop();
+            return e;
+        }
+        QueueEntry e = fifo.front();
+        fifo.pop_front();
+        return e;
+    };
+
+    // Seed: the children of the origin q are one backward dependence
+    // away; their PATHSET is the dependence traversed.
+    for (size_t k = 0; k < m; ++k) {
+        const IVec &w = _stencil.dep(k);
+        state[w].known |= (1u << k);
+        push(w);
+    }
+
+    while (!empty()) {
+        QueueEntry e = pop();
+        PointState &ps = state[e.w];
+        uint32_t mask = ps.known;
+        if (mask == ps.expanded)
+            continue; // stale queue entry, nothing new to propagate
+
+        if (result.stats.visited >= _options.max_visits) {
+            result.stats.hit_visit_cap = true;
+            break;
+        }
+        ++result.stats.visited;
+        ps.expanded = mask;
+
+        // Candidate check (paper Visit step 3).
+        if (mask == full_mask) {
+            int64_t obj = objectiveOf(e.w);
+            if (obj < result.best_objective) {
+                result.best_objective = obj;
+                result.best_uov = e.w;
+                ++result.stats.bound_updates;
+                result.stats.visits_to_best = result.stats.visited;
+                if (_objective == SearchObjective::ShortestVector &&
+                    !_options.disable_bound_shrinking)
+                    radius_sq = obj;
+                UOV_LOG_DEBUG("search bound -> " << obj << " at "
+                                                 << e.w.str());
+            }
+        }
+
+        // Expand children (paper Visit steps 1-2), bounded by the
+        // reachable-region test.
+        for (size_t k = 0; k < m; ++k) {
+            IVec child = e.w + _stencil.dep(k);
+            uint32_t child_mask = mask | (1u << k);
+            auto it = state.find(child);
+            uint32_t known = it == state.end() ? 0 : it->second.known;
+            if ((known | child_mask) == known)
+                continue; // nothing new for this child
+            if (_pruner.prune(child, radius_sq)) {
+                ++result.stats.pruned;
+                continue;
+            }
+            state[child].known = known | child_mask;
+            push(child);
+        }
+    }
+
+    return result;
+}
+
+SearchResult
+exhaustiveUovSearch(const Stencil &stencil, SearchObjective objective,
+                    const SearchOptions &options)
+{
+    UOV_REQUIRE(objective == SearchObjective::ShortestVector ||
+                    options.isg.has_value(),
+                "BoundedStorage objective requires an ISG");
+
+    UovOracle oracle(stencil);
+    IVec initial = stencil.initialUov();
+
+    auto objective_of = [&](const IVec &w) {
+        return objective == SearchObjective::ShortestVector
+                   ? w.normSquared()
+                   : storageCellCount(w, *options.isg);
+    };
+
+    SearchResult result;
+    result.best_uov = initial;
+    result.initial_objective = objective_of(initial);
+    result.best_objective = result.initial_objective;
+
+    int64_t radius_sq =
+        objective == SearchObjective::ShortestVector
+            ? initial.normSquared()
+            : knownBoundsRadiusSquared(initial, *options.isg);
+    auto radius = static_cast<int64_t>(std::sqrt(
+                      static_cast<double>(radius_sq))) +
+                  1;
+
+    size_t d = stencil.dim();
+    IVec w(d);
+    for (size_t c = 0; c < d; ++c)
+        w[c] = -radius;
+    for (;;) {
+        if (!w.isZero() && w.normSquared() <= radius_sq) {
+            ++result.stats.visited;
+            if (oracle.isUov(w)) {
+                int64_t obj = objective_of(w);
+                if (obj < result.best_objective ||
+                    (obj == result.best_objective &&
+                     w < result.best_uov)) {
+                    result.best_objective = obj;
+                    result.best_uov = w;
+                    ++result.stats.bound_updates;
+                }
+            }
+        }
+        size_t c = d;
+        bool done = false;
+        while (c-- > 0) {
+            if (w[c] < radius) {
+                ++w[c];
+                break;
+            }
+            w[c] = -radius;
+            if (c == 0)
+                done = true;
+        }
+        if (done)
+            break;
+    }
+    return result;
+}
+
+} // namespace uov

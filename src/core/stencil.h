@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Stencil: a regular pattern of value (flow) dependences.
+ *
+ * The paper's setting (Section 2): a perfectly nested loop whose
+ * reduced ISG has the same set V = {v_1 ... v_m} of constant-distance
+ * value dependences at every node.  Each v points from the producing
+ * iteration to the consuming iteration, so legality of the original
+ * program makes every v lexicographically positive.
+ */
+
+#ifndef UOV_CORE_STENCIL_H
+#define UOV_CORE_STENCIL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geometry/ivec.h"
+
+namespace uov {
+
+/** An immutable, validated dependence stencil. */
+class Stencil
+{
+  public:
+    /**
+     * Build a stencil from dependence distance vectors.
+     *
+     * @throws UovUserError when empty, dimensions disagree, a vector is
+     *         zero or not lexicographically positive, or there are more
+     *         than 32 distinct vectors (PATHSET masks are 32-bit).
+     * Duplicates are removed.
+     */
+    explicit Stencil(std::vector<IVec> deps);
+
+    size_t dim() const { return _deps[0].dim(); }
+    size_t size() const { return _deps.size(); }
+
+    const std::vector<IVec> &deps() const { return _deps; }
+    const IVec &dep(size_t i) const { return _deps[i]; }
+
+    bool contains(const IVec &v) const;
+
+    /**
+     * The trivially computed initial universal occupancy vector
+     * ~ov_o = sum of all v_i (Section 3.2.1).  Always a legal UOV: for
+     * every i, ov_o - v_i = sum of the remaining vectors, which is a
+     * non-negative combination.
+     */
+    IVec initialUov() const;
+
+    /**
+     * A positive linear functional: h with h . v > 0 for every
+     * dependence.  Exists for any set of lexicographically positive
+     * vectors; used to prove termination of cone-membership search.
+     *
+     * Returns std::nullopt when the exact weights would overflow
+     * int64 (pathological stencils, e.g. NP-completeness reduction
+     * instances); callers then rely on component-wise pruning.
+     */
+    std::optional<IVec> positiveFunctional() const;
+
+    /**
+     * True iff every dependence has a non-negative coordinate @p c.
+     * Used for component-wise cone pruning.
+     */
+    bool allNonNegativeInCoord(size_t c) const;
+
+    /** True iff every dependence has a non-positive coordinate @p c. */
+    bool allNonPositiveInCoord(size_t c) const;
+
+    /** Largest |coordinate| over all dependences. */
+    int64_t maxAbsCoord() const;
+
+    /**
+     * Extreme vectors of the 2-D dependence cone (Section 3.2.1 uses
+     * these to bound the search): the two angularly extreme
+     * dependences.  @pre dim() == 2
+     */
+    std::pair<IVec, IVec> extremeVectors2D() const;
+
+    std::string str() const;
+
+    bool operator==(const Stencil &o) const { return _deps == o._deps; }
+
+  private:
+    std::vector<IVec> _deps;
+};
+
+/** Named stencils used throughout the paper, for tests and benches. */
+namespace stencils {
+
+/** Figure 1: A[i,j] = f(A[i-1,j], A[i,j-1], A[i-1,j-1]). */
+Stencil simpleExample();
+
+/** Figure 2's 3-vector stencil (one of each slope). */
+Stencil threeVector();
+
+/** Section 5: 5-point 1-D stencil over time, deps (1,-2)..(1,2). */
+Stencil fivePoint();
+
+/** Section 5: protein string matching, deps (1,0), (0,1), (1,1). */
+Stencil proteinMatching();
+
+/** 3-D: 7-point heat-equation stencil over time (t, x, y). */
+Stencil heat3D();
+
+} // namespace stencils
+
+} // namespace uov
+
+#endif // UOV_CORE_STENCIL_H

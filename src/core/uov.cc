@@ -1,0 +1,202 @@
+#include "core/uov.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace uov {
+
+UovOracle::UovOracle(Stencil stencil) : _cone(std::move(stencil))
+{
+}
+
+bool
+UovOracle::isUov(const IVec &w)
+{
+    UOV_REQUIRE(w.dim() == stencil().dim(),
+                "candidate dimension mismatch");
+    if (w.isZero())
+        return false;
+    for (const auto &v : stencil().deps()) {
+        if (!_cone.contains(w - v))
+            return false;
+    }
+    return true;
+}
+
+std::optional<UovCertificate>
+UovOracle::certify(const IVec &w)
+{
+    if (!isUov(w))
+        return std::nullopt;
+
+    UovCertificate cert;
+    cert.uov = w;
+    const auto &deps = stencil().deps();
+    for (size_t i = 0; i < deps.size(); ++i) {
+        auto coeffs = _cone.certificate(w - deps[i]);
+        UOV_CHECK(coeffs, "isUov true but certificate missing for row "
+                              << i);
+        // Row i is the combination for w with a_ii incremented to
+        // account for the v_i we peeled off.
+        (*coeffs)[i] += 1;
+        cert.rows.push_back(std::move(*coeffs));
+    }
+
+    // Verify every row reconstructs w with a positive diagonal.
+    for (size_t i = 0; i < cert.rows.size(); ++i) {
+        UOV_CHECK(cert.rows[i][i] >= 1, "diagonal coefficient must be >= 1");
+        IVec sum(stencil().dim());
+        for (size_t j = 0; j < deps.size(); ++j)
+            sum += deps[j] * cert.rows[i][j];
+        UOV_CHECK(sum == w, "certificate row " << i << " sums to "
+                                << sum.str() << " != " << w.str());
+    }
+    return cert;
+}
+
+GeneralUovOracle::GeneralUovOracle(Stencil schedule_cone,
+                                   std::vector<IVec> consumers)
+    : _cone(std::move(schedule_cone)), _consumers(std::move(consumers))
+{
+    UOV_REQUIRE(!_consumers.empty(),
+                "array with no consumers needs no storage at all");
+    for (const auto &c : _consumers) {
+        UOV_REQUIRE(c.dim() == _cone.stencil().dim(),
+                    "consumer dimension mismatch");
+        UOV_REQUIRE(c.isZero() || _cone.stencil().contains(c),
+                    "consumer " << c.str()
+                        << " is not a schedule dependence; liveness "
+                           "would not be schedule-bounded");
+    }
+}
+
+bool
+GeneralUovOracle::isUov(const IVec &w)
+{
+    UOV_REQUIRE(w.dim() == _cone.stencil().dim(),
+                "candidate dimension mismatch");
+    if (w.isZero())
+        return false;
+    for (const auto &c : _consumers) {
+        if (!_cone.contains(w - c))
+            return false;
+    }
+    return true;
+}
+
+IVec
+GeneralUovOracle::searchShortest()
+{
+    IVec initial = initialUov();
+    UOV_CHECK(isUov(initial), "initial UOV must be safe");
+    int64_t best_sq = initial.normSquared();
+    IVec best = initial;
+    auto radius = static_cast<int64_t>(
+                      std::sqrt(static_cast<double>(best_sq))) +
+                  1;
+    size_t d = initial.dim();
+    IVec w(d);
+    for (size_t c = 0; c < d; ++c)
+        w[c] = -radius;
+    for (;;) {
+        if (!w.isZero() && w.normSquared() < best_sq && isUov(w)) {
+            best_sq = w.normSquared();
+            best = w;
+        }
+        size_t c = d;
+        bool done = false;
+        while (c-- > 0) {
+            if (w[c] < radius) {
+                ++w[c];
+                break;
+            }
+            w[c] = -radius;
+            if (c == 0)
+                done = true;
+        }
+        if (done)
+            break;
+    }
+    return best;
+}
+
+bool
+ovLegalForLinearSchedule(const IVec &h, const IVec &ov,
+                         const Stencil &stencil)
+{
+    UOV_REQUIRE(h.dim() == stencil.dim() && ov.dim() == stencil.dim(),
+                "dimension mismatch");
+    for (const auto &v : stencil.deps())
+        UOV_REQUIRE(h.dot(v) > 0,
+                    "h is not a legal schedule vector: h." << v.str()
+                        << " <= 0");
+    UOV_REQUIRE(!ov.isZero(), "zero occupancy vector");
+
+    int64_t h_ov = h.dot(ov);
+    for (const auto &v : stencil.deps()) {
+        if (v == ov)
+            continue; // the overwriter reads before it writes
+        if (h.dot(v) >= h_ov)
+            return false;
+    }
+    return true;
+}
+
+std::optional<IVec>
+findSharedUov(const std::vector<Stencil> &stencils)
+{
+    UOV_REQUIRE(!stencils.empty(), "no stencils given");
+    size_t d = stencils[0].dim();
+    for (const auto &s : stencils)
+        UOV_REQUIRE(s.dim() == d, "stencil dimension mismatch");
+
+    std::vector<UovOracle> oracles;
+    oracles.reserve(stencils.size());
+    int64_t radius_sq = 0;
+    for (const auto &s : stencils) {
+        oracles.emplace_back(s);
+        radius_sq = std::max(radius_sq, s.initialUov().normSquared());
+    }
+    auto radius = static_cast<int64_t>(
+                      std::sqrt(static_cast<double>(radius_sq))) +
+                  1;
+
+    std::optional<IVec> best;
+    int64_t best_sq = INT64_MAX;
+    IVec w(d);
+    for (size_t c = 0; c < d; ++c)
+        w[c] = -radius;
+    for (;;) {
+        int64_t sq = w.normSquared();
+        if (!w.isZero() && sq <= radius_sq && sq < best_sq) {
+            bool all = true;
+            for (auto &oracle : oracles) {
+                if (!oracle.isUov(w)) {
+                    all = false;
+                    break;
+                }
+            }
+            if (all) {
+                best = w;
+                best_sq = sq;
+            }
+        }
+        size_t c = d;
+        bool done = false;
+        while (c-- > 0) {
+            if (w[c] < radius) {
+                ++w[c];
+                break;
+            }
+            w[c] = -radius;
+            if (c == 0)
+                done = true;
+        }
+        if (done)
+            break;
+    }
+    return best;
+}
+
+} // namespace uov

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Universal occupancy vector membership and certificates (Section 3.1).
+ *
+ * w is in UOV(V) iff for every v_i in V the system
+ *     w = a_i1 v_1 + ... + a_im v_m,   a_ij >= 0, a_ii >= 1
+ * has an integer solution -- equivalently, (w - v_i) lies in the
+ * non-negative integer cone of V.  The decision problem is NP-complete
+ * (paper theorem; see core/reduction.h), but exact solving is practical
+ * for real stencils.
+ */
+
+#ifndef UOV_CORE_UOV_H
+#define UOV_CORE_UOV_H
+
+#include <optional>
+#include <vector>
+
+#include "core/cone.h"
+#include "core/stencil.h"
+#include "geometry/ivec.h"
+
+namespace uov {
+
+/**
+ * A full certificate that w is a universal occupancy vector: one
+ * coefficient row per stencil vector; row i satisfies a_ii >= 1.
+ */
+struct UovCertificate
+{
+    IVec uov;                                  ///< the certified vector
+    std::vector<std::vector<int64_t>> rows;    ///< rows[i][j] = a_ij
+};
+
+/** Exact UOV membership oracle for one stencil. */
+class UovOracle
+{
+  public:
+    explicit UovOracle(Stencil stencil);
+
+    const Stencil &stencil() const { return _cone.stencil(); }
+
+    /** Is w a universal occupancy vector for this stencil? */
+    bool isUov(const IVec &w);
+
+    /**
+     * Produce the full per-dependence coefficient certificate, or
+     * nullopt when w is not a UOV.  Certificates are verified before
+     * being returned.
+     */
+    std::optional<UovCertificate> certify(const IVec &w);
+
+    /** The guaranteed-legal initial UOV, ov_o = sum v_i. */
+    IVec initialUov() const { return _cone.stencil().initialUov(); }
+
+    /** Access the underlying cone solver (shared memoization). */
+    ConeSolver &cone() { return _cone; }
+
+  private:
+    ConeSolver _cone;
+};
+
+/**
+ * Generalized UOV oracle for multi-statement loops (the paper's
+ * Section 7 future work, implemented): the *schedule* is constrained
+ * by the union of all loop-carried flow dependences in the nest
+ * (the cone), while the liveness of one array's values is governed by
+ * that array's own consumer distances -- which may include the zero
+ * vector for same-iteration uses by later statements.
+ *
+ * w is a safe occupancy vector for the array under every legal
+ * schedule iff for every consumer distance c, (w - c) lies in the
+ * non-negative integer cone of the schedule dependences.  With
+ * consumers == cone generators this reduces to the classic UOV test.
+ */
+class GeneralUovOracle
+{
+  public:
+    /**
+     * @param schedule_cone all loop-carried flow dependences of the
+     *        nest (what constrains legal schedules)
+     * @param consumers flow distances into reads of the array under
+     *        consideration; each must be zero or a member of the cone
+     */
+    GeneralUovOracle(Stencil schedule_cone, std::vector<IVec> consumers);
+
+    const Stencil &scheduleCone() const { return _cone.stencil(); }
+    const std::vector<IVec> &consumers() const { return _consumers; }
+
+    /** Is w safe for this array under every legal schedule? */
+    bool isUov(const IVec &w);
+
+    /** Sum of the cone generators: always safe (same argument). */
+    IVec initialUov() const { return _cone.stencil().initialUov(); }
+
+    /**
+     * Shortest safe vector by exhaustive enumeration of the ball
+     * |w| <= |initialUov()| (general consumers defeat the PATHSET
+     * search, so the reference method is used).
+     */
+    IVec searchShortest();
+
+  private:
+    ConeSolver _cone;
+    std::vector<IVec> _consumers;
+};
+
+/**
+ * A UOV shared by several loops (paper Section 7: "select our
+ * occupancy vector in a way that allows two loops to use the same
+ * OV-mapping for a given array").  Searches the ball of radius
+ * max over loops of |initial UOV| for the shortest vector universal
+ * for *every* stencil; nullopt when none exists in that ball (a
+ * shared UOV may not exist at all -- e.g. stencils whose UOV sets
+ * live on disjoint lattice lines).
+ */
+std::optional<IVec> findSharedUov(const std::vector<Stencil> &stencils);
+
+/**
+ * Is @p ov a safe occupancy vector under the linear schedule
+ * sigma(q) = h.q (ties broken arbitrarily among independent points)?
+ *
+ * Safe iff for every dependence v: h.v < h.ov, or v == ov (the
+ * consumer is the overwriting iteration itself, which reads before it
+ * writes).  With ties possible, h.v == h.ov for v != ov is unsafe:
+ * some tie-break runs the overwriter first.  This is the
+ * schedule-GIVEN counterpart of the UOV test (Section 6's related
+ * work); the empirical oracle lives in schedule/ov_legality.h.
+ *
+ * @pre h is a legal schedule vector: h.v > 0 for every dependence
+ */
+bool ovLegalForLinearSchedule(const IVec &h, const IVec &ov,
+                              const Stencil &stencil);
+
+} // namespace uov
+
+#endif // UOV_CORE_UOV_H

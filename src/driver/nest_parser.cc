@@ -1,0 +1,202 @@
+#include "driver/nest_parser.h"
+
+#include <optional>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace uov {
+
+namespace {
+
+/** Strip comments and surrounding whitespace. */
+std::string
+cleanLine(const std::string &raw)
+{
+    std::string s = raw;
+    auto hash = s.find('#');
+    if (hash != std::string::npos)
+        s.erase(hash);
+    auto b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    auto e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void
+fail(int line_no, const std::string &msg)
+{
+    throw UovUserError("nest parse error, line " +
+                       std::to_string(line_no) + ": " + msg);
+}
+
+/** Parse "NAME[o1,o2,...]" into a uniform access. */
+Access
+parseAccess(const std::string &text, int line_no)
+{
+    auto lb = text.find('[');
+    auto rb = text.rfind(']');
+    if (lb == std::string::npos || rb == std::string::npos || rb < lb)
+        fail(line_no, "expected NAME[o1,o2,...], got '" + text + "'");
+    std::string name = text.substr(0, lb);
+    if (name.empty())
+        fail(line_no, "empty array name in '" + text + "'");
+
+    std::vector<int64_t> offsets;
+    std::stringstream ss(text.substr(lb + 1, rb - lb - 1));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+        try {
+            size_t used = 0;
+            offsets.push_back(std::stoll(tok, &used));
+            while (used < tok.size()) {
+                if (tok[used] != ' ' && tok[used] != '\t')
+                    fail(line_no, "bad offset '" + tok + "'");
+                ++used;
+            }
+        } catch (const std::logic_error &) {
+            fail(line_no, "bad offset '" + tok + "'");
+        }
+    }
+    if (offsets.empty())
+        fail(line_no, "access '" + text + "' has no offsets");
+    return uniformAccess(name, IVec(std::move(offsets)));
+}
+
+} // namespace
+
+LoopNest
+parseNest(std::istream &in)
+{
+    std::string name;
+    std::optional<IVec> lo, hi;
+    std::vector<Statement> stmts;
+    std::optional<Statement> current;
+
+    auto flush_statement = [&](int line_no) {
+        if (!current)
+            return;
+        if (current->write.array.empty())
+            fail(line_no, "statement '" + current->name +
+                              "' has no write access");
+        stmts.push_back(std::move(*current));
+        current.reset();
+    };
+
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = cleanLine(raw);
+        if (line.empty())
+            continue;
+        std::stringstream ss(line);
+        std::string keyword;
+        ss >> keyword;
+
+        if (keyword == "nest") {
+            ss >> name;
+            if (name.empty())
+                fail(line_no, "nest needs a name");
+        } else if (keyword == "bounds") {
+            std::vector<int64_t> los, his;
+            std::string range;
+            while (ss >> range) {
+                auto dots = range.find("..");
+                if (dots == std::string::npos)
+                    fail(line_no, "bad range '" + range +
+                                      "', expected lo..hi");
+                try {
+                    los.push_back(std::stoll(range.substr(0, dots)));
+                    his.push_back(std::stoll(range.substr(dots + 2)));
+                } catch (const std::logic_error &) {
+                    fail(line_no, "bad range '" + range + "'");
+                }
+            }
+            if (los.empty())
+                fail(line_no, "bounds needs at least one range");
+            lo = IVec(std::move(los));
+            hi = IVec(std::move(his));
+        } else if (keyword == "statement") {
+            flush_statement(line_no);
+            current.emplace();
+            ss >> current->name;
+            if (current->name.empty())
+                fail(line_no, "statement needs a name");
+        } else if (keyword == "write") {
+            if (!current)
+                fail(line_no, "'write' outside a statement block");
+            if (!current->write.array.empty())
+                fail(line_no, "statement already has a write");
+            std::string rest;
+            ss >> rest;
+            current->write = parseAccess(rest, line_no);
+        } else if (keyword == "read") {
+            if (!current)
+                fail(line_no, "'read' outside a statement block");
+            std::string rest;
+            ss >> rest;
+            current->reads.push_back(parseAccess(rest, line_no));
+        } else {
+            fail(line_no, "unknown keyword '" + keyword + "'");
+        }
+    }
+    flush_statement(line_no);
+
+    UOV_REQUIRE(!name.empty(), "nest description has no 'nest' line");
+    UOV_REQUIRE(lo.has_value(), "nest description has no 'bounds' line");
+    UOV_REQUIRE(!stmts.empty(), "nest description has no statements");
+
+    LoopNest nest(name, *lo, *hi);
+    for (auto &s : stmts) {
+        UOV_REQUIRE(s.write.offset.dim() == nest.depth(),
+                    "statement '" << s.name << "' access rank "
+                        << s.write.offset.dim()
+                        << " does not match bounds rank "
+                        << nest.depth());
+        nest.addStatement(std::move(s));
+    }
+    return nest;
+}
+
+LoopNest
+parseNestString(const std::string &text)
+{
+    std::istringstream iss(text);
+    return parseNest(iss);
+}
+
+std::string
+formatNest(const LoopNest &nest)
+{
+    std::ostringstream oss;
+    oss << "nest " << nest.name() << "\n";
+    oss << "bounds";
+    for (size_t c = 0; c < nest.depth(); ++c)
+        oss << " " << nest.lo()[c] << ".." << nest.hi()[c];
+    oss << "\n";
+    auto emit_access = [&](const Access &a) {
+        oss << a.array << "[";
+        for (size_t c = 0; c < a.offset.dim(); ++c) {
+            if (c)
+                oss << ",";
+            oss << a.offset[c];
+        }
+        oss << "]";
+    };
+    for (const auto &s : nest.statements()) {
+        oss << "statement " << s.name << "\n";
+        oss << "  write ";
+        emit_access(s.write);
+        oss << "\n";
+        for (const auto &r : s.reads) {
+            oss << "  read ";
+            emit_access(r);
+            oss << "\n";
+        }
+    }
+    return oss.str();
+}
+
+} // namespace uov

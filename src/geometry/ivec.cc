@@ -1,0 +1,203 @@
+#include "geometry/ivec.h"
+
+#include <sstream>
+
+#include "support/checked.h"
+#include "support/error.h"
+
+namespace uov {
+
+int64_t
+IVec::operator[](size_t i) const
+{
+    UOV_CHECK(i < _c.size(), "IVec index " << i << " out of range "
+                                           << _c.size());
+    return _c[i];
+}
+
+int64_t &
+IVec::operator[](size_t i)
+{
+    UOV_CHECK(i < _c.size(), "IVec index " << i << " out of range "
+                                           << _c.size());
+    return _c[i];
+}
+
+IVec
+IVec::operator+(const IVec &o) const
+{
+    UOV_CHECK(dim() == o.dim(), "dimension mismatch " << dim() << " vs "
+                                                      << o.dim());
+    IVec r(dim());
+    for (size_t i = 0; i < dim(); ++i)
+        r._c[i] = checkedAdd(_c[i], o._c[i]);
+    return r;
+}
+
+IVec
+IVec::operator-(const IVec &o) const
+{
+    UOV_CHECK(dim() == o.dim(), "dimension mismatch " << dim() << " vs "
+                                                      << o.dim());
+    IVec r(dim());
+    for (size_t i = 0; i < dim(); ++i)
+        r._c[i] = checkedSub(_c[i], o._c[i]);
+    return r;
+}
+
+IVec
+IVec::operator-() const
+{
+    IVec r(dim());
+    for (size_t i = 0; i < dim(); ++i)
+        r._c[i] = checkedNeg(_c[i]);
+    return r;
+}
+
+IVec
+IVec::operator*(int64_t s) const
+{
+    IVec r(dim());
+    for (size_t i = 0; i < dim(); ++i)
+        r._c[i] = checkedMul(_c[i], s);
+    return r;
+}
+
+IVec &
+IVec::operator+=(const IVec &o)
+{
+    *this = *this + o;
+    return *this;
+}
+
+IVec &
+IVec::operator-=(const IVec &o)
+{
+    *this = *this - o;
+    return *this;
+}
+
+bool
+IVec::operator<(const IVec &o) const
+{
+    UOV_CHECK(dim() == o.dim(), "dimension mismatch in comparison");
+    return _c < o._c;
+}
+
+bool
+IVec::isZero() const
+{
+    for (int64_t c : _c)
+        if (c != 0)
+            return false;
+    return true;
+}
+
+bool
+IVec::isLexPositive() const
+{
+    for (int64_t c : _c) {
+        if (c > 0)
+            return true;
+        if (c < 0)
+            return false;
+    }
+    return false;
+}
+
+int64_t
+IVec::dot(const IVec &o) const
+{
+    UOV_CHECK(dim() == o.dim(), "dimension mismatch in dot product");
+    int64_t acc = 0;
+    for (size_t i = 0; i < dim(); ++i)
+        acc = checkedAdd(acc, checkedMul(_c[i], o._c[i]));
+    return acc;
+}
+
+int64_t
+IVec::normSquared() const
+{
+    return dot(*this);
+}
+
+int64_t
+IVec::norm1() const
+{
+    int64_t acc = 0;
+    for (int64_t c : _c)
+        acc = checkedAdd(acc, checkedAbs(c));
+    return acc;
+}
+
+int64_t
+IVec::normInf() const
+{
+    int64_t m = 0;
+    for (int64_t c : _c) {
+        int64_t a = checkedAbs(c);
+        if (a > m)
+            m = a;
+    }
+    return m;
+}
+
+int64_t
+IVec::content() const
+{
+    int64_t g = 0;
+    for (int64_t c : _c)
+        g = gcd64(g, c);
+    return g;
+}
+
+IVec
+IVec::dividedBy(int64_t s) const
+{
+    UOV_CHECK(s != 0, "division by zero");
+    IVec r(dim());
+    for (size_t i = 0; i < dim(); ++i) {
+        UOV_CHECK(_c[i] % s == 0,
+                  s << " does not divide coordinate " << _c[i]);
+        r._c[i] = _c[i] / s;
+    }
+    return r;
+}
+
+std::string
+IVec::str() const
+{
+    std::ostringstream oss;
+    oss << *this;
+    return oss.str();
+}
+
+size_t
+IVec::hash() const
+{
+    // FNV-1a over the coordinate bytes; stable and fast for short vectors.
+    size_t h = 1469598103934665603ULL;
+    for (int64_t c : _c) {
+        auto u = static_cast<uint64_t>(c);
+        for (int b = 0; b < 8; ++b) {
+            h ^= (u >> (8 * b)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    }
+    return h;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const IVec &v)
+{
+    os << "(";
+    for (size_t i = 0; i < v.dim(); ++i) {
+        if (i)
+            os << ", ";
+        os << v[i];
+    }
+    os << ")";
+    return os;
+}
+
+} // namespace uov

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * IVec: an exact integer vector of small, arbitrary dimension.
+ *
+ * The workhorse type of the library: dependence distances, occupancy
+ * vectors, mapping vectors and iteration points are all IVecs.  All
+ * arithmetic is overflow-checked.
+ */
+
+#ifndef UOV_GEOMETRY_IVEC_H
+#define UOV_GEOMETRY_IVEC_H
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace uov {
+
+/** Exact integer vector in Z^d. */
+class IVec
+{
+  public:
+    /** Zero-dimensional vector (useful as a placeholder). */
+    IVec() = default;
+
+    /** Zero vector of dimension @p dim. */
+    explicit IVec(size_t dim) : _c(dim, 0) {}
+
+    /** From explicit coordinates: IVec{1, -2}. */
+    IVec(std::initializer_list<int64_t> coords) : _c(coords) {}
+
+    /** From a coordinate vector. */
+    explicit IVec(std::vector<int64_t> coords) : _c(std::move(coords)) {}
+
+    size_t dim() const { return _c.size(); }
+
+    int64_t operator[](size_t i) const;
+    int64_t &operator[](size_t i);
+
+    const std::vector<int64_t> &coords() const { return _c; }
+
+    /** Component-wise arithmetic; dimensions must match. */
+    IVec operator+(const IVec &o) const;
+    IVec operator-(const IVec &o) const;
+    IVec operator-() const;
+    IVec operator*(int64_t s) const;
+    IVec &operator+=(const IVec &o);
+    IVec &operator-=(const IVec &o);
+
+    bool operator==(const IVec &o) const { return _c == o._c; }
+    bool operator!=(const IVec &o) const { return _c != o._c; }
+
+    /** Lexicographic order (for use as map keys and schedule order). */
+    bool operator<(const IVec &o) const;
+
+    /** True iff every coordinate is zero. */
+    bool isZero() const;
+
+    /**
+     * True iff the first nonzero coordinate is positive.
+     * A legal dependence distance vector is lexicographically positive.
+     */
+    bool isLexPositive() const;
+
+    /** Dot product. @pre dimensions match */
+    int64_t dot(const IVec &o) const;
+
+    /** Squared Euclidean length (exact). */
+    int64_t normSquared() const;
+
+    /** Sum of |coordinate| (L1 norm, exact). */
+    int64_t norm1() const;
+
+    /** max |coordinate| (Linf norm, exact). */
+    int64_t normInf() const;
+
+    /**
+     * Content: gcd of all coordinates (non-negative); 0 for the zero
+     * vector.  A vector is "prime" (primitive) iff content() == 1.
+     */
+    int64_t content() const;
+
+    /** True iff content() == 1 (the paper's "prime" OV). */
+    bool isPrime() const { return content() == 1; }
+
+    /** Divide every coordinate by @p s. @pre s divides every coordinate */
+    IVec dividedBy(int64_t s) const;
+
+    /** "(a, b, c)" rendering. */
+    std::string str() const;
+
+    /** Stable hash for unordered containers. */
+    size_t hash() const;
+
+  private:
+    std::vector<int64_t> _c;
+};
+
+std::ostream &operator<<(std::ostream &os, const IVec &v);
+
+/** Hash functor for std::unordered_map<IVec, ...>. */
+struct IVecHash
+{
+    size_t operator()(const IVec &v) const { return v.hash(); }
+};
+
+} // namespace uov
+
+#endif // UOV_GEOMETRY_IVEC_H

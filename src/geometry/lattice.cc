@@ -1,0 +1,133 @@
+#include "geometry/lattice.h"
+
+#include "support/checked.h"
+#include "support/error.h"
+
+namespace uov {
+
+ExtGcd
+extGcd(int64_t a, int64_t b)
+{
+    // Iterative extended Euclid on (a, b); fix signs afterwards so the
+    // reported gcd is non-negative.
+    int64_t old_r = a, r = b;
+    int64_t old_x = 1, x = 0;
+    int64_t old_y = 0, y = 1;
+    while (r != 0) {
+        int64_t q = old_r / r;
+        int64_t tmp;
+        tmp = checkedSub(old_r, checkedMul(q, r));
+        old_r = r;
+        r = tmp;
+        tmp = checkedSub(old_x, checkedMul(q, x));
+        old_x = x;
+        x = tmp;
+        tmp = checkedSub(old_y, checkedMul(q, y));
+        old_y = y;
+        y = tmp;
+    }
+    if (old_r < 0) {
+        old_r = checkedNeg(old_r);
+        old_x = checkedNeg(old_x);
+        old_y = checkedNeg(old_y);
+    }
+    return ExtGcd{old_r, old_x, old_y};
+}
+
+IVec
+bezoutVector(const IVec &v)
+{
+    UOV_REQUIRE(!v.isZero(), "bezoutVector of zero vector");
+    size_t d = v.dim();
+    IVec alpha(d);
+
+    // Fold coordinates left to right: maintain g = gcd(v[0..i]) and a
+    // certificate alpha[0..i] with alpha . v[0..i] == g.
+    int64_t g = 0;
+    for (size_t i = 0; i < d; ++i) {
+        if (v[i] == 0)
+            continue;
+        if (g == 0) {
+            // First nonzero coordinate.
+            g = checkedAbs(v[i]);
+            alpha[i] = v[i] > 0 ? 1 : -1;
+            continue;
+        }
+        ExtGcd e = extGcd(g, v[i]);
+        // New certificate: (alpha * e.x) for seen coords, e.y here.
+        for (size_t j = 0; j < i; ++j)
+            alpha[j] = checkedMul(alpha[j], e.x);
+        alpha[i] = e.y;
+        g = e.g;
+    }
+    UOV_CHECK(alpha.dot(v) == v.content(), "bezoutVector certificate");
+    return alpha;
+}
+
+IMatrix
+unimodularCompletion(const IVec &v)
+{
+    UOV_REQUIRE(v.content() == 1,
+                "unimodularCompletion requires a primitive vector, got "
+                    << v.str() << " with content " << v.content());
+    size_t d = v.dim();
+    IMatrix u = IMatrix::identity(d);
+    IVec w = v;
+
+    // Zero out w[d-1] ... w[1] using 2x2 unimodular row transforms on
+    // (U, w).  Invariant: U * v == w.
+    for (size_t i = d - 1; i >= 1; --i) {
+        int64_t a = w[i - 1];
+        int64_t b = w[i];
+        if (b == 0)
+            continue;
+        ExtGcd e = extGcd(a, b);
+        UOV_CHECK(e.g > 0, "gcd positive");
+        int64_t p = e.x, q = e.y;
+        int64_t r = checkedNeg(b / e.g);
+        int64_t s = a / e.g;
+        // [p q; r s] has determinant p*s - q*r = (x*a + y*b)/g = 1.
+        IMatrix t = IMatrix::identity(d);
+        t(i - 1, i - 1) = p;
+        t(i - 1, i) = q;
+        t(i, i - 1) = r;
+        t(i, i) = s;
+        u = t * u;
+        int64_t new_top = checkedAdd(checkedMul(p, a), checkedMul(q, b));
+        int64_t new_bot = checkedAdd(checkedMul(r, a), checkedMul(s, b));
+        w[i - 1] = new_top;
+        w[i] = new_bot;
+        UOV_CHECK(w[i] == 0, "transform zeroes trailing coordinate");
+    }
+
+    // After folding everything into w[0], primitivity gives w[0] = +-1.
+    if (w[0] == -1) {
+        IMatrix t = IMatrix::identity(d);
+        t(0, 0) = -1;
+        u = t * u;
+        w[0] = 1;
+    }
+    UOV_CHECK(w[0] == 1, "completion folds to e0, got " << w.str());
+    UOV_CHECK((u * v)[0] == 1, "U*v == e0 head");
+    for (size_t i = 1; i < d; ++i)
+        UOV_CHECK((u * v)[i] == 0, "U*v == e0 tail");
+    UOV_CHECK(u.isUnimodular(), "completion is unimodular");
+    return u;
+}
+
+int64_t
+solveCongruence(int64_t a, int64_t c, int64_t m)
+{
+    UOV_REQUIRE(m > 0, "solveCongruence requires positive modulus");
+    ExtGcd e = extGcd(a, m);
+    UOV_REQUIRE(e.g != 0 && c % e.g == 0,
+                "congruence " << a << "*x == " << c << " (mod " << m
+                              << ") has no solution");
+    // a*x == c (mod m)  with  a*e.x == g (mod m)  =>  x = e.x * (c/g).
+    int64_t x = checkedMul(e.x, c / e.g);
+    int64_t mg = m / e.g;
+    (void)mg;
+    return floorMod(x, m);
+}
+
+} // namespace uov

@@ -1,0 +1,91 @@
+#include "kernels/psm.h"
+
+#include "support/rng.h"
+
+namespace uov {
+
+const std::vector<PsmVariant> &
+allPsmVariants()
+{
+    static const std::vector<PsmVariant> all = {
+        PsmVariant::StorageOptimized, PsmVariant::Natural,
+        PsmVariant::NaturalTiled,     PsmVariant::Ov,
+        PsmVariant::OvTiled,
+    };
+    return all;
+}
+
+const char *
+psmVariantName(PsmVariant v)
+{
+    switch (v) {
+      case PsmVariant::Natural:          return "Natural";
+      case PsmVariant::NaturalTiled:     return "Natural Tiled";
+      case PsmVariant::Ov:               return "OV-Mapped";
+      case PsmVariant::OvTiled:          return "OV-Mapped Tiled";
+      case PsmVariant::StorageOptimized: return "Storage Optimized";
+    }
+    return "?";
+}
+
+bool
+psmVariantTiled(PsmVariant v)
+{
+    return v == PsmVariant::NaturalTiled || v == PsmVariant::OvTiled;
+}
+
+int64_t
+psmTemporaryStorage(PsmVariant v, int64_t n0, int64_t n1)
+{
+    switch (v) {
+      case PsmVariant::Natural:
+      case PsmVariant::NaturalTiled:
+        return n0 * n1 + n0 + n1; // Table 2
+      case PsmVariant::Ov:
+      case PsmVariant::OvTiled:
+        return 2 * n0 + 2 * n1 + 1; // Table 2
+      case PsmVariant::StorageOptimized:
+        return 2 * n0 + 3; // Table 2 (from [1])
+    }
+    return 0;
+}
+
+std::vector<uint8_t>
+psmString(int64_t length, uint64_t seed)
+{
+    // Synthetic amino-acid sequence: the paper's protein inputs are
+    // unavailable, so we draw uniformly over the 23-letter alphabet
+    // from a fixed seed (see DESIGN.md, substitutions).
+    SplitMix64 rng(seed);
+    std::vector<uint8_t> s(static_cast<size_t>(length));
+    for (auto &c : s)
+        c = static_cast<uint8_t>(rng.nextBelow(kPsmAlphabet));
+    return s;
+}
+
+const std::vector<int32_t> &
+psmWeightTable()
+{
+    // BLOSUM-like: symmetric, positive diagonal (matches score well),
+    // mildly negative off-diagonal, deterministic.
+    static const std::vector<int32_t> table = [] {
+        std::vector<int32_t> t(kPsmAlphabet * kPsmAlphabet);
+        SplitMix64 rng(0xB10500);
+        for (int r = 0; r < kPsmAlphabet; ++r) {
+            for (int c = r; c < kPsmAlphabet; ++c) {
+                int32_t w;
+                if (r == c) {
+                    w = 4 + static_cast<int32_t>(rng.nextBelow(8)); // 4..11
+                } else {
+                    w = -4 + static_cast<int32_t>(rng.nextBelow(8)); // -4..3
+                }
+                t[r * kPsmAlphabet + c] = w;
+                t[c * kPsmAlphabet + r] = w;
+            }
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace uov

@@ -1,0 +1,30 @@
+#include "kernels/simple.h"
+
+namespace uov {
+
+const char *
+simpleVariantName(SimpleVariant v)
+{
+    switch (v) {
+      case SimpleVariant::Natural:          return "Natural";
+      case SimpleVariant::OvMapped:         return "OV-Mapped";
+      case SimpleVariant::StorageOptimized: return "Storage Optimized";
+    }
+    return "?";
+}
+
+int64_t
+simpleStorage(SimpleVariant v, int64_t n, int64_t m)
+{
+    switch (v) {
+      case SimpleVariant::Natural:
+        return n * m; // Figure 1(a): nm temporaries
+      case SimpleVariant::OvMapped:
+        return n + m + 1; // Figure 1(b)
+      case SimpleVariant::StorageOptimized:
+        return m + 2; // Figure 1(c)
+    }
+    return 0;
+}
+
+} // namespace uov

@@ -1,0 +1,75 @@
+#include "kernels/stencil5.h"
+
+namespace uov {
+
+const std::vector<Stencil5Variant> &
+allStencil5Variants()
+{
+    static const std::vector<Stencil5Variant> all = {
+        Stencil5Variant::StorageOptimized,
+        Stencil5Variant::Natural,
+        Stencil5Variant::NaturalTiled,
+        Stencil5Variant::Ov,
+        Stencil5Variant::OvInterleaved,
+        Stencil5Variant::OvTiled,
+        Stencil5Variant::OvInterleavedTiled,
+    };
+    return all;
+}
+
+const char *
+stencil5VariantName(Stencil5Variant v)
+{
+    switch (v) {
+      case Stencil5Variant::Natural:            return "Natural";
+      case Stencil5Variant::NaturalTiled:       return "Natural Tiled";
+      case Stencil5Variant::Ov:                 return "OV-Mapped";
+      case Stencil5Variant::OvInterleaved:
+        return "OV-Mapped Interleaved";
+      case Stencil5Variant::OvTiled:            return "OV-Mapped Tiled";
+      case Stencil5Variant::OvInterleavedTiled:
+        return "OV-Mapped Interleaved Tiled";
+      case Stencil5Variant::StorageOptimized:
+        return "Storage Optimized";
+    }
+    return "?";
+}
+
+bool
+stencil5VariantTiled(Stencil5Variant v)
+{
+    return v == Stencil5Variant::NaturalTiled ||
+           v == Stencil5Variant::OvTiled ||
+           v == Stencil5Variant::OvInterleavedTiled;
+}
+
+int64_t
+stencil5TemporaryStorage(Stencil5Variant v, int64_t length,
+                         int64_t steps)
+{
+    switch (v) {
+      case Stencil5Variant::Natural:
+      case Stencil5Variant::NaturalTiled:
+        return steps * length; // Table 1: TL
+      case Stencil5Variant::Ov:
+      case Stencil5Variant::OvInterleaved:
+      case Stencil5Variant::OvTiled:
+      case Stencil5Variant::OvInterleavedTiled:
+        return 2 * length; // Table 1: 2L
+      case Stencil5Variant::StorageOptimized:
+        return length + 3; // Table 1: L+3
+    }
+    return 0;
+}
+
+std::vector<float>
+stencil5Input(int64_t length, uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    std::vector<float> input(static_cast<size_t>(length));
+    for (auto &v : input)
+        v = static_cast<float>(rng.nextDouble());
+    return input;
+}
+
+} // namespace uov

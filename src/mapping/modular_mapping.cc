@@ -1,0 +1,185 @@
+#include "mapping/modular_mapping.h"
+
+#include <sstream>
+
+#include "core/uov.h"
+// ovLegalForLinearSchedule comes from core (schedule-free rule).
+#include "support/checked.h"
+#include "support/error.h"
+
+namespace uov {
+
+ModularMapping::ModularMapping(IVec moduli, IVec lo)
+    : _m(std::move(moduli)), _lo(std::move(lo))
+{
+    UOV_REQUIRE(_m.dim() == _lo.dim() && _m.dim() >= 1,
+                "moduli/corner dimension mismatch");
+    _stride.assign(_m.dim(), 1);
+    _cells = 1;
+    for (size_t c = _m.dim(); c-- > 0;) {
+        UOV_REQUIRE(_m[c] >= 1, "modulus must be >= 1");
+        _stride[c] = _cells;
+        _cells = checkedMul(_cells, _m[c]);
+    }
+}
+
+int64_t
+ModularMapping::operator()(const IVec &q) const
+{
+    UOV_CHECK(q.dim() == _m.dim(), "point dimension mismatch");
+    int64_t idx = 0;
+    for (size_t c = 0; c < _m.dim(); ++c) {
+        int64_t coord = floorMod(checkedSub(q[c], _lo[c]), _m[c]);
+        idx = checkedAdd(idx, checkedMul(coord, _stride[c]));
+    }
+    return idx;
+}
+
+std::string
+ModularMapping::str() const
+{
+    std::ostringstream oss;
+    oss << "cell(q) = q mod " << _m << "  [" << _cells << " cells]";
+    return oss.str();
+}
+
+namespace {
+
+/**
+ * Enumerate the nonzero lattice differences of m realizable within
+ * the box extents, calling pred on each; returns false as soon as an
+ * unsafe difference is found.
+ */
+template <typename Pred>
+bool
+allDifferencesSafe(const IVec &m, const IVec &ext, Pred safe)
+{
+    size_t d = m.dim();
+    // c_k ranges over multiples with |c_k * m_k| <= ext_k - 1.
+    std::vector<int64_t> max_mult(d);
+    for (size_t c = 0; c < d; ++c)
+        max_mult[c] = (ext[c] - 1) / m[c];
+
+    IVec mult(d);
+    for (size_t c = 0; c < d; ++c)
+        mult[c] = -max_mult[c];
+    for (;;) {
+        bool zero = true;
+        for (size_t c = 0; c < d; ++c)
+            if (mult[c] != 0)
+                zero = false;
+        if (!zero) {
+            IVec diff(d);
+            for (size_t c = 0; c < d; ++c)
+                diff[c] = mult[c] * m[c];
+            if (!safe(diff))
+                return false;
+        }
+        size_t c = d;
+        bool done = false;
+        while (c-- > 0) {
+            if (mult[c] < max_mult[c]) {
+                ++mult[c];
+                break;
+            }
+            mult[c] = -max_mult[c];
+            if (c == 0)
+                done = true;
+        }
+        if (done)
+            break;
+    }
+    return true;
+}
+
+template <typename SafetyCheck>
+ModuliSearchResult
+searchModuli(const IVec &lo, const IVec &hi, SafetyCheck safe_moduli)
+{
+    size_t d = lo.dim();
+    IVec ext(d);
+    int64_t search_space = 1;
+    for (size_t c = 0; c < d; ++c) {
+        ext[c] = hi[c] - lo[c] + 1;
+        search_space = checkedMul(search_space, ext[c]);
+    }
+    UOV_REQUIRE(search_space <= 1000000,
+                "moduli search over " << search_space
+                    << " combinations; use a smaller ISG");
+
+    ModuliSearchResult best;
+    best.moduli = ext; // trivial: no reuse, always safe
+    best.cells = 1;
+    for (size_t c = 0; c < d; ++c)
+        best.cells = checkedMul(best.cells, ext[c]);
+    best.trivial = true;
+
+    IVec m(d);
+    for (size_t c = 0; c < d; ++c)
+        m[c] = 1;
+    for (;;) {
+        int64_t cells = 1;
+        for (size_t c = 0; c < d; ++c)
+            cells = checkedMul(cells, m[c]);
+        if (cells < best.cells && safe_moduli(m, ext)) {
+            best.moduli = m;
+            best.cells = cells;
+            best.trivial = (m == ext);
+        }
+        size_t c = d;
+        bool done = false;
+        while (c-- > 0) {
+            if (m[c] < ext[c]) {
+                ++m[c];
+                break;
+            }
+            m[c] = 1;
+            if (c == 0)
+                done = true;
+        }
+        if (done)
+            break;
+    }
+    return best;
+}
+
+} // namespace
+
+ModuliSearchResult
+universallySafeModuli(const Stencil &stencil, const IVec &lo,
+                      const IVec &hi)
+{
+    UOV_REQUIRE(stencil.dim() == lo.dim() && lo.dim() == hi.dim(),
+                "dimension mismatch");
+    UovOracle oracle(stencil);
+    auto safe = [&](const IVec &m, const IVec &ext) {
+        return allDifferencesSafe(m, ext, [&](const IVec &diff) {
+            IVec w = diff.isLexPositive() ? diff : -diff;
+            return oracle.isUov(w);
+        });
+    };
+    return searchModuli(lo, hi, safe);
+}
+
+ModuliSearchResult
+scheduleSpecificModuli(const IVec &h, const Stencil &stencil,
+                       const IVec &lo, const IVec &hi)
+{
+    UOV_REQUIRE(stencil.dim() == lo.dim() && lo.dim() == hi.dim(),
+                "dimension mismatch");
+    for (const auto &v : stencil.deps())
+        UOV_REQUIRE(h.dot(v) > 0, "h is not a legal schedule vector");
+
+    auto safe = [&](const IVec &m, const IVec &ext) {
+        return allDifferencesSafe(m, ext, [&](const IVec &diff) {
+            int64_t hd = h.dot(diff);
+            if (hd == 0)
+                return false; // concurrent conflicting points
+            IVec w = hd > 0 ? diff : -diff;
+            return ovLegalForLinearSchedule(h, w, stencil);
+        });
+    };
+    return searchModuli(lo, hi, safe);
+}
+
+} // namespace uov

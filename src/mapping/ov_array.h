@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Runtime containers backed by an OV storage mapping.
+ *
+ * OVArray is the production container: cellCount() cells addressed by
+ * iteration point through the StorageMapping.
+ *
+ * CheckedOVArray is the validation container: it additionally records,
+ * for every cell, which iteration last wrote it, so a read can assert
+ * that the value it receives was produced by the iteration the
+ * dataflow says it should come from.  A violation is precisely a
+ * storage clobber introduced by a (non-universal) occupancy vector
+ * under some schedule -- the executor uses this to demonstrate both
+ * the safety of UOVs and the unsafety of shorter non-universal OVs.
+ */
+
+#ifndef UOV_MAPPING_OV_ARRAY_H
+#define UOV_MAPPING_OV_ARRAY_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapping/storage_mapping.h"
+#include "support/error.h"
+
+namespace uov {
+
+/** A value store addressed by iteration point through an OV mapping. */
+template <typename T>
+class OVArray
+{
+  public:
+    explicit OVArray(StorageMapping mapping, T fill = T{})
+        : _mapping(std::move(mapping)),
+          _data(static_cast<size_t>(_mapping.cellCount()), fill)
+    {
+    }
+
+    const StorageMapping &mapping() const { return _mapping; }
+    int64_t cellCount() const { return _mapping.cellCount(); }
+
+    /** Value cell for iteration q. */
+    T &
+    at(const IVec &q)
+    {
+        return _data[index(q)];
+    }
+
+    const T &
+    at(const IVec &q) const
+    {
+        return _data[index(q)];
+    }
+
+    /** Raw cell access (for layout-sensitive diagnostics). */
+    const std::vector<T> &cells() const { return _data; }
+
+  private:
+    size_t
+    index(const IVec &q) const
+    {
+        int64_t i = _mapping(q);
+        UOV_CHECK(i >= 0 && i < _mapping.cellCount(),
+                  "mapped index " << i << " out of [0, "
+                                  << _mapping.cellCount() << ") for q="
+                                  << q.str());
+        return static_cast<size_t>(i);
+    }
+
+    StorageMapping _mapping;
+    std::vector<T> _data;
+};
+
+/** One detected storage clobber. */
+struct ClobberViolation
+{
+    IVec reader;          ///< iteration performing the read
+    IVec expected_writer; ///< iteration the value should come from
+    IVec actual_writer;   ///< iteration that last wrote the cell
+    int64_t cell;         ///< the shared storage cell
+
+    std::string
+    str() const
+    {
+        return "read at " + reader.str() + " expected value of " +
+               expected_writer.str() + " but cell " +
+               std::to_string(cell) + " holds value of " +
+               actual_writer.str();
+    }
+};
+
+/** OVArray with per-cell writer tracking and clobber detection. */
+template <typename T>
+class CheckedOVArray
+{
+  public:
+    explicit CheckedOVArray(StorageMapping mapping, T fill = T{})
+        : _values(std::move(mapping), fill),
+          _writers(static_cast<size_t>(_values.cellCount()))
+    {
+    }
+
+    const StorageMapping &mapping() const { return _values.mapping(); }
+
+    /** Record iteration @p q writing @p value. */
+    void
+    write(const IVec &q, const T &value)
+    {
+        _values.at(q) = value;
+        _writers[static_cast<size_t>(mapping()(q))] = q;
+    }
+
+    /**
+     * Read the value produced by iteration @p producer on behalf of
+     * @p reader.  If the cell was clobbered, the violation is recorded
+     * and the (wrong) stored value returned -- execution continues so
+     * tests can count total violations.
+     */
+    T
+    read(const IVec &reader, const IVec &producer)
+    {
+        int64_t cell = mapping()(producer);
+        const auto &writer = _writers[static_cast<size_t>(cell)];
+        if (!writer.has_value() || *writer != producer) {
+            ClobberViolation v;
+            v.reader = reader;
+            v.expected_writer = producer;
+            v.actual_writer = writer.value_or(IVec(producer.dim()));
+            v.cell = cell;
+            _violations.push_back(std::move(v));
+        }
+        return _values.at(producer);
+    }
+
+    /** Read without clobber bookkeeping (boundary values etc.). */
+    const T &peek(const IVec &q) const { return _values.at(q); }
+
+    const std::vector<ClobberViolation> &violations() const
+    {
+        return _violations;
+    }
+
+    bool clean() const { return _violations.empty(); }
+
+  private:
+    OVArray<T> _values;
+    std::vector<std::optional<IVec>> _writers;
+    std::vector<ClobberViolation> _violations;
+};
+
+} // namespace uov
+
+#endif // UOV_MAPPING_OV_ARRAY_H

@@ -1,0 +1,123 @@
+#include "schedule/legality.h"
+
+#include <unordered_map>
+
+#include "support/checked.h"
+#include "support/error.h"
+
+namespace uov {
+
+bool
+permutationLegal(const std::vector<size_t> &perm, const Stencil &stencil)
+{
+    UOV_REQUIRE(perm.size() == stencil.dim(), "permutation rank mismatch");
+    for (const auto &v : stencil.deps()) {
+        IVec permuted(v.dim());
+        for (size_t k = 0; k < perm.size(); ++k)
+            permuted[k] = v[perm[k]];
+        if (!permuted.isLexPositive())
+            return false;
+    }
+    return true;
+}
+
+bool
+transformLegal(const IMatrix &transform, const Stencil &stencil)
+{
+    UOV_REQUIRE(transform.cols() == stencil.dim(),
+                "transform rank mismatch");
+    for (const auto &v : stencil.deps()) {
+        if (!(transform * v).isLexPositive())
+            return false;
+    }
+    return true;
+}
+
+bool
+tilingLegal(const IMatrix &transform, const Stencil &stencil)
+{
+    UOV_REQUIRE(transform.cols() == stencil.dim(),
+                "transform rank mismatch");
+    for (const auto &v : stencil.deps()) {
+        IVec t = transform * v;
+        bool nonneg = true;
+        for (size_t c = 0; c < t.dim(); ++c)
+            if (t[c] < 0)
+                nonneg = false;
+        if (!nonneg || t.isZero())
+            return false;
+    }
+    return true;
+}
+
+bool
+wavefrontLegal(const IVec &h, const Stencil &stencil)
+{
+    UOV_REQUIRE(h.dim() == stencil.dim(), "wavefront rank mismatch");
+    for (const auto &v : stencil.deps())
+        if (h.dot(v) <= 0)
+            return false;
+    return true;
+}
+
+bool
+scheduleRespectsStencil(const Schedule &schedule, const IVec &lo,
+                        const IVec &hi, const Stencil &stencil)
+{
+    std::unordered_map<IVec, size_t, IVecHash> position;
+    size_t counter = 0;
+    bool duplicate = false;
+    schedule.forEach(lo, hi, [&](const IVec &q) {
+        if (!position.emplace(q, counter++).second)
+            duplicate = true;
+    });
+    if (duplicate)
+        return false;
+
+    // Completeness: every box point visited.
+    int64_t expected = 1;
+    for (size_t c = 0; c < lo.dim(); ++c)
+        expected = checkedMul(expected,
+                              checkedAdd(checkedSub(hi[c], lo[c]), 1));
+    if (static_cast<int64_t>(position.size()) != expected)
+        return false;
+
+    // Every in-box dependence edge satisfied.
+    for (const auto &[q, pos] : position) {
+        for (const auto &v : stencil.deps()) {
+            auto it = position.find(q - v);
+            if (it != position.end() && it->second >= pos)
+                return false;
+        }
+    }
+    return true;
+}
+
+IMatrix
+skewToNonNegative(const Stencil &stencil)
+{
+    size_t d = stencil.dim();
+    for (const auto &v : stencil.deps())
+        UOV_REQUIRE(v[0] > 0,
+                    "skewToNonNegative needs every dependence to "
+                    "advance dimension 0; " << v.str() << " does not");
+
+    IMatrix t = IMatrix::identity(d);
+    for (size_t k = 1; k < d; ++k) {
+        int64_t f = 0;
+        for (const auto &v : stencil.deps()) {
+            if (v[k] < 0)
+                f = std::max(f, ceilDiv(-v[k], v[0]));
+        }
+        t(k, 0) = f;
+    }
+    // Postcondition: all transformed deps component-wise non-negative.
+    for (const auto &v : stencil.deps()) {
+        IVec tv = t * v;
+        for (size_t c = 0; c < d; ++c)
+            UOV_CHECK(tv[c] >= 0, "skew failed on " << v.str());
+    }
+    return t;
+}
+
+} // namespace uov

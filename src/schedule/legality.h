@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Schedule legality against a dependence stencil.
+ *
+ * Two flavours: algebraic checks for affine schedule families (the
+ * compile-time tests a compiler would run) and an empirical check that
+ * replays any Schedule over a box and verifies every dependence edge
+ * is satisfied (the oracle the algebraic checks are tested against).
+ */
+
+#ifndef UOV_SCHEDULE_LEGALITY_H
+#define UOV_SCHEDULE_LEGALITY_H
+
+#include <vector>
+
+#include "core/stencil.h"
+#include "schedule/schedule.h"
+
+namespace uov {
+
+/**
+ * Loop permutation legality: every permuted distance vector must stay
+ * lexicographically positive.
+ */
+bool permutationLegal(const std::vector<size_t> &perm,
+                      const Stencil &stencil);
+
+/**
+ * Unimodular transform legality: T*v lexicographically positive for
+ * every dependence v.
+ */
+bool transformLegal(const IMatrix &transform, const Stencil &stencil);
+
+/**
+ * Rectangular tiling legality in the transformed space: atomic tiles
+ * of any size executed lexicographically are legal iff every
+ * transformed distance is component-wise non-negative (and nonzero).
+ * This is the classic "forward dependences only" condition; stencils
+ * with negative components need skewing first (Section 2's tiling
+ * discussion; the 5-point stencil is the canonical case).
+ */
+bool tilingLegal(const IMatrix &transform, const Stencil &stencil);
+
+/** Wavefront legality: h . v > 0 for every dependence. */
+bool wavefrontLegal(const IVec &h, const Stencil &stencil);
+
+/**
+ * Empirical oracle: run the schedule over [lo, hi] and check every
+ * in-box dependence edge executes producer-before-consumer and that
+ * every point is visited exactly once.
+ */
+bool scheduleRespectsStencil(const Schedule &schedule, const IVec &lo,
+                             const IVec &hi, const Stencil &stencil);
+
+/**
+ * The canonical legal skew for a stencil whose non-time components can
+ * be negative: y0 = q0, yk = qk + f_k * q0 with f_k = max over deps of
+ * ceil(-v_k / v_0) (only defined when every dependence advances
+ * dimension 0).  After this transform all distances are component-wise
+ * non-negative, so rectangular tiling is legal.
+ * @throws UovUserError if some dependence has v_0 <= 0
+ */
+IMatrix skewToNonNegative(const Stencil &stencil);
+
+} // namespace uov
+
+#endif // UOV_SCHEDULE_LEGALITY_H

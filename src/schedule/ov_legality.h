@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Schedule-specific occupancy-vector legality.
+ *
+ * A UOV is safe under every legal schedule; a plain OV only under
+ * schedules that finish all consumers of iteration p before p + ov
+ * executes.  This module decides that condition:
+ *
+ *  - algebraically, for one-dimensional affine (wavefront-style)
+ *    schedules sigma(q) = h.q: ov is safe iff for every dependence v,
+ *    h.v < h.ov -- then sigma(p + v) < sigma(p + ov), with the
+ *    equality case h.v == h.ov additionally safe when the consumer
+ *    IS the overwriter (v == ov), since reads precede the write
+ *    within an iteration;
+ *
+ *  - empirically, for any Schedule, by replaying the order and
+ *    checking every consumer precedes (or is) the overwriter.
+ *
+ * The storage-optimized codes of Section 5 are exactly non-universal
+ * OVs paired with compatible schedules; this module is the formal
+ * bridge (tested against the executor in tests/test_ov_legality.cc).
+ */
+
+#ifndef UOV_SCHEDULE_OV_LEGALITY_H
+#define UOV_SCHEDULE_OV_LEGALITY_H
+
+#include "core/stencil.h"
+#include "core/uov.h" // ovLegalForLinearSchedule (algebraic rule)
+#include "schedule/schedule.h"
+
+namespace uov {
+
+/**
+ * Empirical oracle: replay @p schedule over [lo, hi] and check, for
+ * every point p and its overwriter p + ov, that every in-box consumer
+ * p + v has already executed (or is the overwriter itself).  Boundary
+ * consumers outside the box are ignored (their reads never happen).
+ */
+bool ovLegalForSchedule(const Schedule &schedule, const IVec &lo,
+                        const IVec &hi, const IVec &ov,
+                        const Stencil &stencil);
+
+} // namespace uov
+
+#endif // UOV_SCHEDULE_OV_LEGALITY_H

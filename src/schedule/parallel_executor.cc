@@ -1,0 +1,94 @@
+#include "schedule/parallel_executor.h"
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "schedule/legality.h"
+#include "support/error.h"
+
+namespace uov {
+
+ParallelExecutionResult
+runParallelWavefront(const StencilComputation &comp, const IVec &lo,
+                     const IVec &hi, const IVec &h, const IVec &ov,
+                     unsigned threads, ModLayout layout)
+{
+    UOV_REQUIRE(threads >= 1, "need at least one thread");
+    UOV_REQUIRE(wavefrontLegal(h, comp.stencil),
+                "h = " << h.str() << " is not a legal wavefront for "
+                       << comp.stencil.str());
+
+    ExpandedArray<uint64_t> ref = computeReference(comp, lo, hi);
+
+    StorageMapping sm =
+        StorageMapping::create(ov, Polyhedron::box(lo, hi), layout);
+    OVArray<uint64_t> store(std::move(sm));
+
+    auto in_box = [&](const IVec &p) {
+        for (size_t c = 0; c < p.dim(); ++c)
+            if (p[c] < lo[c] || p[c] > hi[c])
+                return false;
+        return true;
+    };
+
+    // Bucket the points by wave.
+    std::map<int64_t, std::vector<IVec>> waves;
+    {
+        LexSchedule order = LexSchedule::identity(lo.dim());
+        order.forEach(lo, hi, [&](const IVec &q) {
+            waves[h.dot(q)].push_back(q);
+        });
+    }
+
+    ParallelExecutionResult result;
+    result.threads = threads;
+    result.waves = static_cast<int64_t>(waves.size());
+
+    std::atomic<uint64_t> mismatches{0};
+    std::atomic<uint64_t> points{0};
+
+    for (const auto &[wave, pts] : waves) {
+        (void)wave;
+        auto worker = [&](size_t begin, size_t end) {
+            std::vector<uint64_t> inputs(comp.stencil.size());
+            for (size_t i = begin; i < end; ++i) {
+                const IVec &q = pts[i];
+                for (size_t k = 0; k < comp.stencil.size(); ++k) {
+                    IVec p = q - comp.stencil.dep(k);
+                    inputs[k] = in_box(p) ? store.at(p)
+                                          : comp.boundary(p);
+                }
+                uint64_t value = comp.combine(q, inputs);
+                store.at(q) = value;
+                points.fetch_add(1, std::memory_order_relaxed);
+                if (value != ref.at(q))
+                    mismatches.fetch_add(1,
+                                         std::memory_order_relaxed);
+            }
+        };
+
+        size_t n = pts.size();
+        size_t nthreads = std::min<size_t>(threads, n);
+        if (nthreads <= 1) {
+            worker(0, n);
+        } else {
+            std::vector<std::thread> pool;
+            size_t chunk = (n + nthreads - 1) / nthreads;
+            for (size_t t = 0; t < nthreads; ++t) {
+                size_t begin = t * chunk;
+                size_t end = std::min(n, begin + chunk);
+                if (begin < end)
+                    pool.emplace_back(worker, begin, end);
+            }
+            for (auto &th : pool)
+                th.join(); // the inter-wave barrier
+        }
+    }
+
+    result.points = points.load();
+    result.mismatches = mismatches.load();
+    return result;
+}
+
+} // namespace uov

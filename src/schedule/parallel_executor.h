@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Parallel wavefront execution over OV-mapped storage.
+ *
+ * The paper motivates schedule freedom partly by parallelism ("[tiling]
+ * can also be used as a technique to implement parallelism").  A legal
+ * wavefront h (h.v > 0 for every dependence) makes every point of one
+ * wave independent; with a *universal* OV the storage is also
+ * race-free: two iterations share a cell only when they differ by a
+ * multiple of the OV, and h is strictly positive on the dependence
+ * cone containing the OV, so cell-sharers always sit on different
+ * waves.  Threads split each wave; a barrier separates waves.
+ *
+ * This is the concurrency counterpart of the executor's sequential
+ * schedule sweep, with the same bit-exact comparison against full
+ * expansion.
+ */
+
+#ifndef UOV_SCHEDULE_PARALLEL_EXECUTOR_H
+#define UOV_SCHEDULE_PARALLEL_EXECUTOR_H
+
+#include "schedule/executor.h"
+
+namespace uov {
+
+/** Outcome of one parallel run. */
+struct ParallelExecutionResult
+{
+    uint64_t points = 0;
+    uint64_t mismatches = 0;
+    unsigned threads = 0;
+    int64_t waves = 0;
+
+    bool correct() const { return mismatches == 0; }
+};
+
+/**
+ * Execute comp over [lo, hi] by waves of h with @p threads worker
+ * threads and OV storage for @p ov; every produced value is compared
+ * against the fully expanded reference.
+ *
+ * @pre h is a legal wavefront for comp.stencil (h.v > 0 for all v)
+ */
+ParallelExecutionResult runParallelWavefront(
+    const StencilComputation &comp, const IVec &lo, const IVec &hi,
+    const IVec &h, const IVec &ov, unsigned threads,
+    ModLayout layout = ModLayout::Interleaved);
+
+} // namespace uov
+
+#endif // UOV_SCHEDULE_PARALLEL_EXECUTOR_H

@@ -1,0 +1,489 @@
+#include "schedule/schedule.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/checked.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace uov {
+
+namespace {
+
+/** Odometer enumeration of [lo, hi] with dimension order perm. */
+template <typename Visit>
+void
+scanBoxPermuted(const IVec &lo, const IVec &hi,
+                const std::vector<size_t> &perm, Visit visit)
+{
+    size_t d = lo.dim();
+    IVec p = lo;
+    // Initialize to lows; iterate innermost = perm[d-1] fastest.
+    for (;;) {
+        visit(p);
+        size_t level = d;
+        bool done = false;
+        while (level-- > 0) {
+            size_t dim = perm[level];
+            if (p[dim] < hi[dim]) {
+                ++p[dim];
+                break;
+            }
+            p[dim] = lo[dim];
+            if (level == 0)
+                done = true;
+        }
+        if (done)
+            break;
+    }
+}
+
+std::vector<size_t>
+identityPerm(size_t d)
+{
+    std::vector<size_t> perm(d);
+    std::iota(perm.begin(), perm.end(), 0);
+    return perm;
+}
+
+/** Bounding box of T*[lo, hi] from its transformed corners. */
+void
+transformedBounds(const IMatrix &t, const IVec &lo, const IVec &hi,
+                  IVec &tlo, IVec &thi)
+{
+    size_t d = lo.dim();
+    tlo = IVec(d);
+    thi = IVec(d);
+    for (size_t r = 0; r < d; ++r) {
+        int64_t mn = 0, mx = 0;
+        for (size_t c = 0; c < d; ++c) {
+            int64_t a = t(r, c);
+            mn = checkedAdd(mn, a * (a >= 0 ? lo[c] : hi[c]));
+            mx = checkedAdd(mx, a * (a >= 0 ? hi[c] : lo[c]));
+        }
+        tlo[r] = mn;
+        thi[r] = mx;
+    }
+}
+
+bool
+inBox(const IVec &p, const IVec &lo, const IVec &hi)
+{
+    for (size_t c = 0; c < p.dim(); ++c)
+        if (p[c] < lo[c] || p[c] > hi[c])
+            return false;
+    return true;
+}
+
+} // namespace
+
+LexSchedule::LexSchedule(std::vector<size_t> perm) : _perm(std::move(perm))
+{
+    std::vector<size_t> sorted = _perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < sorted.size(); ++i)
+        UOV_REQUIRE(sorted[i] == i,
+                    "permutation is not a bijection on 0.."
+                        << sorted.size() - 1);
+}
+
+LexSchedule
+LexSchedule::identity(size_t d)
+{
+    return LexSchedule(identityPerm(d));
+}
+
+std::string
+LexSchedule::name() const
+{
+    std::ostringstream oss;
+    oss << "lex(";
+    for (size_t i = 0; i < _perm.size(); ++i) {
+        if (i)
+            oss << ",";
+        oss << _perm[i];
+    }
+    oss << ")";
+    return oss.str();
+}
+
+void
+LexSchedule::forEach(const IVec &lo, const IVec &hi,
+                     const IterationVisitor &visit) const
+{
+    UOV_REQUIRE(lo.dim() == _perm.size(), "schedule depth mismatch");
+    scanBoxPermuted(lo, hi, _perm, visit);
+}
+
+TransformedSchedule::TransformedSchedule(IMatrix transform,
+                                         std::string label)
+    : _t(std::move(transform)), _label(std::move(label))
+{
+    UOV_REQUIRE(_t.rows() == _t.cols(), "transform must be square");
+    UOV_REQUIRE(_t.isUnimodular(),
+                "schedule transform must be unimodular to enumerate "
+                "every iteration exactly once");
+    _t_inv = _t.inverseUnimodular();
+}
+
+std::string
+TransformedSchedule::name() const
+{
+    return _label.empty() ? "transformed" + _t.str() : _label;
+}
+
+void
+TransformedSchedule::forEach(const IVec &lo, const IVec &hi,
+                             const IterationVisitor &visit) const
+{
+    UOV_REQUIRE(lo.dim() == _t.rows(), "schedule depth mismatch");
+    IVec tlo, thi;
+    transformedBounds(_t, lo, hi, tlo, thi);
+    scanBoxPermuted(tlo, thi, identityPerm(lo.dim()),
+                    [&](const IVec &y) {
+                        IVec q = _t_inv * y;
+                        if (inBox(q, lo, hi))
+                            visit(q);
+                    });
+}
+
+TiledSchedule::TiledSchedule(std::vector<int64_t> tile_sizes,
+                             IMatrix transform, std::string label)
+    : _sizes(std::move(tile_sizes)), _t(std::move(transform)),
+      _label(std::move(label))
+{
+    UOV_REQUIRE(_t.rows() == _t.cols() && _t.rows() == _sizes.size(),
+                "tile sizes / transform shape mismatch");
+    UOV_REQUIRE(_t.isUnimodular(), "tiling transform must be unimodular");
+    for (int64_t s : _sizes)
+        UOV_REQUIRE(s >= 1, "tile sizes must be positive");
+    _t_inv = _t.inverseUnimodular();
+}
+
+TiledSchedule
+TiledSchedule::rectangular(std::vector<int64_t> tile_sizes)
+{
+    size_t d = tile_sizes.size();
+    return TiledSchedule(std::move(tile_sizes), IMatrix::identity(d),
+                         "tiled-rect");
+}
+
+std::string
+TiledSchedule::name() const
+{
+    std::ostringstream oss;
+    oss << (_label.empty() ? std::string("tiled") : _label) << "[";
+    for (size_t i = 0; i < _sizes.size(); ++i) {
+        if (i)
+            oss << "x";
+        oss << _sizes[i];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+void
+TiledSchedule::forEach(const IVec &lo, const IVec &hi,
+                       const IterationVisitor &visit) const
+{
+    size_t d = lo.dim();
+    UOV_REQUIRE(d == _sizes.size(), "schedule depth mismatch");
+    IVec tlo, thi;
+    transformedBounds(_t, lo, hi, tlo, thi);
+
+    // Tile index space.
+    IVec tile_lo(d), tile_hi(d);
+    for (size_t c = 0; c < d; ++c) {
+        tile_lo[c] = floorDiv(tlo[c], _sizes[c]);
+        tile_hi[c] = floorDiv(thi[c], _sizes[c]);
+    }
+
+    scanBoxPermuted(tile_lo, tile_hi, identityPerm(d),
+                    [&](const IVec &tile) {
+        // Intra-tile bounds in transformed space, clipped to the hull.
+        IVec ylo(d), yhi(d);
+        for (size_t c = 0; c < d; ++c) {
+            ylo[c] = std::max(tlo[c], tile[c] * _sizes[c]);
+            yhi[c] = std::min(thi[c], tile[c] * _sizes[c] +
+                                          _sizes[c] - 1);
+        }
+        bool empty = false;
+        for (size_t c = 0; c < d; ++c)
+            if (ylo[c] > yhi[c])
+                empty = true;
+        if (empty)
+            return;
+        scanBoxPermuted(ylo, yhi, identityPerm(d), [&](const IVec &y) {
+            IVec q = _t_inv * y;
+            if (inBox(q, lo, hi))
+                visit(q);
+        });
+    });
+}
+
+HierarchicalTiledSchedule::HierarchicalTiledSchedule(
+    std::vector<int64_t> inner_sizes, std::vector<int64_t> outer_factors,
+    IMatrix transform, std::string label)
+    : _inner(std::move(inner_sizes)), _t(std::move(transform)),
+      _label(std::move(label))
+{
+    UOV_REQUIRE(_t.rows() == _t.cols() && _t.rows() == _inner.size() &&
+                    outer_factors.size() == _inner.size(),
+                "hierarchical tiling shape mismatch");
+    UOV_REQUIRE(_t.isUnimodular(), "tiling transform must be unimodular");
+    _outer.resize(_inner.size());
+    for (size_t c = 0; c < _inner.size(); ++c) {
+        UOV_REQUIRE(_inner[c] >= 1 && outer_factors[c] >= 1,
+                    "tile sizes and factors must be positive");
+        _outer[c] = checkedMul(_inner[c], outer_factors[c]);
+    }
+    _t_inv = _t.inverseUnimodular();
+}
+
+std::string
+HierarchicalTiledSchedule::name() const
+{
+    std::ostringstream oss;
+    oss << (_label.empty() ? std::string("hier-tiled") : _label) << "[";
+    for (size_t i = 0; i < _inner.size(); ++i) {
+        if (i)
+            oss << "x";
+        oss << _inner[i] << "/" << _outer[i];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+void
+HierarchicalTiledSchedule::forEach(const IVec &lo, const IVec &hi,
+                                   const IterationVisitor &visit) const
+{
+    size_t d = lo.dim();
+    UOV_REQUIRE(d == _inner.size(), "schedule depth mismatch");
+    IVec tlo, thi;
+    transformedBounds(_t, lo, hi, tlo, thi);
+
+    auto perm = identityPerm(d);
+
+    // Outer super-tile grid.
+    IVec olo(d), ohi(d);
+    for (size_t c = 0; c < d; ++c) {
+        olo[c] = floorDiv(tlo[c], _outer[c]);
+        ohi[c] = floorDiv(thi[c], _outer[c]);
+    }
+    scanBoxPermuted(olo, ohi, perm, [&](const IVec &outer) {
+        // Inner tile grid clipped to this super-tile.
+        IVec ylo(d), yhi(d);
+        for (size_t c = 0; c < d; ++c) {
+            ylo[c] = std::max(tlo[c], outer[c] * _outer[c]);
+            yhi[c] = std::min(thi[c],
+                              outer[c] * _outer[c] + _outer[c] - 1);
+        }
+        for (size_t c = 0; c < d; ++c)
+            if (ylo[c] > yhi[c])
+                return;
+        IVec ilo(d), ihi(d);
+        for (size_t c = 0; c < d; ++c) {
+            ilo[c] = floorDiv(ylo[c], _inner[c]);
+            ihi[c] = floorDiv(yhi[c], _inner[c]);
+        }
+        scanBoxPermuted(ilo, ihi, perm, [&](const IVec &inner) {
+            IVec plo(d), phi(d);
+            for (size_t c = 0; c < d; ++c) {
+                plo[c] = std::max(ylo[c], inner[c] * _inner[c]);
+                phi[c] = std::min(yhi[c], inner[c] * _inner[c] +
+                                              _inner[c] - 1);
+            }
+            for (size_t c = 0; c < d; ++c)
+                if (plo[c] > phi[c])
+                    return;
+            scanBoxPermuted(plo, phi, perm, [&](const IVec &y) {
+                IVec q = _t_inv * y;
+                if (inBox(q, lo, hi))
+                    visit(q);
+            });
+        });
+    });
+}
+
+WavefrontSchedule::WavefrontSchedule(IVec h) : _h(std::move(h))
+{
+    UOV_REQUIRE(!_h.isZero(), "zero wavefront vector");
+}
+
+std::string
+WavefrontSchedule::name() const
+{
+    return "wavefront" + _h.str();
+}
+
+void
+WavefrontSchedule::forEach(const IVec &lo, const IVec &hi,
+                           const IterationVisitor &visit) const
+{
+    size_t d = lo.dim();
+    UOV_REQUIRE(d == _h.dim(), "schedule depth mismatch");
+
+    // Range of h . q over the box.
+    int64_t wmin = 0, wmax = 0;
+    for (size_t c = 0; c < d; ++c) {
+        int64_t a = _h[c];
+        wmin = checkedAdd(wmin, a * (a >= 0 ? lo[c] : hi[c]));
+        wmax = checkedAdd(wmax, a * (a >= 0 ? hi[c] : lo[c]));
+    }
+    // O(waves * volume): fine for the test/demo scale this targets.
+    for (int64_t w = wmin; w <= wmax; ++w) {
+        scanBoxPermuted(lo, hi, identityPerm(d), [&](const IVec &q) {
+            if (_h.dot(q) == w)
+                visit(q);
+        });
+    }
+}
+
+AffineSchedule::AffineSchedule(std::vector<IVec> rows, std::string label)
+    : _rows(std::move(rows)), _label(std::move(label))
+{
+    UOV_REQUIRE(!_rows.empty(), "affine schedule needs at least one row");
+    for (const auto &r : _rows)
+        UOV_REQUIRE(r.dim() == _rows[0].dim(),
+                    "affine schedule row dimension mismatch");
+}
+
+std::string
+AffineSchedule::name() const
+{
+    if (!_label.empty())
+        return _label;
+    std::ostringstream oss;
+    oss << "affine(";
+    for (size_t i = 0; i < _rows.size(); ++i) {
+        if (i)
+            oss << "; ";
+        oss << _rows[i];
+    }
+    oss << ")";
+    return oss.str();
+}
+
+std::vector<int64_t>
+AffineSchedule::timeOf(const IVec &q) const
+{
+    std::vector<int64_t> t;
+    t.reserve(_rows.size());
+    for (const auto &r : _rows)
+        t.push_back(r.dot(q));
+    return t;
+}
+
+void
+AffineSchedule::forEach(const IVec &lo, const IVec &hi,
+                        const IterationVisitor &visit) const
+{
+    UOV_REQUIRE(lo.dim() == _rows[0].dim(), "schedule depth mismatch");
+    // Materialize and sort: simple and correct for the demo/test
+    // scale this class targets (like WavefrontSchedule).
+    std::vector<IVec> points;
+    scanBoxPermuted(lo, hi, identityPerm(lo.dim()),
+                    [&](const IVec &q) { points.push_back(q); });
+    std::stable_sort(points.begin(), points.end(),
+                     [&](const IVec &a, const IVec &b) {
+                         auto ta = timeOf(a);
+                         auto tb = timeOf(b);
+                         if (ta != tb)
+                             return ta < tb;
+                         return a.coords() < b.coords();
+                     });
+    for (const auto &q : points)
+        visit(q);
+}
+
+bool
+ovLegalForAffineSchedule(const AffineSchedule &schedule, const IVec &ov,
+                         const Stencil &stencil)
+{
+    UOV_REQUIRE(!ov.isZero(), "zero occupancy vector");
+    for (const auto &v : stencil.deps()) {
+        std::vector<int64_t> tv = schedule.timeOf(v);
+        // Lexicographically positive == strictly greater than the
+        // all-zero tuple.
+        UOV_REQUIRE(tv > std::vector<int64_t>(tv.size(), 0),
+                    "schedule is not legal for dependence " << v.str());
+    }
+    std::vector<int64_t> t_ov = schedule.timeOf(ov);
+    for (const auto &v : stencil.deps()) {
+        if (v == ov)
+            continue;
+        if (!(schedule.timeOf(v) < t_ov))
+            return false;
+    }
+    return true;
+}
+
+RandomTopoSchedule::RandomTopoSchedule(Stencil stencil, uint64_t seed)
+    : _stencil(std::move(stencil)), _seed(seed)
+{
+}
+
+std::string
+RandomTopoSchedule::name() const
+{
+    return "random-topo(seed=" + std::to_string(_seed) + ")";
+}
+
+void
+RandomTopoSchedule::forEach(const IVec &lo, const IVec &hi,
+                            const IterationVisitor &visit) const
+{
+    size_t d = lo.dim();
+    UOV_REQUIRE(d == _stencil.dim(), "schedule depth mismatch");
+
+    // Collect box points and index them.
+    std::vector<IVec> points;
+    scanBoxPermuted(lo, hi, identityPerm(d),
+                    [&](const IVec &q) { points.push_back(q); });
+    std::unordered_map<IVec, size_t, IVecHash> index;
+    for (size_t i = 0; i < points.size(); ++i)
+        index.emplace(points[i], i);
+
+    // In-box predecessor counts.
+    std::vector<uint32_t> pending(points.size(), 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+        for (const auto &v : _stencil.deps()) {
+            IVec pred = points[i] - v;
+            if (index.count(pred))
+                ++pending[i];
+        }
+    }
+
+    std::vector<size_t> ready;
+    for (size_t i = 0; i < points.size(); ++i)
+        if (pending[i] == 0)
+            ready.push_back(i);
+
+    SplitMix64 rng(_seed);
+    size_t emitted = 0;
+    while (!ready.empty()) {
+        size_t pick = rng.nextBelow(ready.size());
+        size_t i = ready[pick];
+        ready[pick] = ready.back();
+        ready.pop_back();
+
+        visit(points[i]);
+        ++emitted;
+
+        for (const auto &v : _stencil.deps()) {
+            IVec succ = points[i] + v;
+            auto it = index.find(succ);
+            if (it != index.end() && --pending[it->second] == 0)
+                ready.push_back(it->second);
+        }
+    }
+    UOV_CHECK(emitted == points.size(),
+              "dependence graph of a lex-positive stencil must be "
+              "acyclic; emitted " << emitted << " of " << points.size());
+}
+
+} // namespace uov

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Loop schedules: total execution orders over an iteration-space box.
+ *
+ * The UOV's defining property is schedule-independence: the storage
+ * mapping stays correct under *any* legal schedule.  This module
+ * provides the schedule family the claim is tested against --
+ * lexicographic orders under loop permutation, unimodular (skewed)
+ * transformations, rectangular tiling of a transformed space,
+ * wavefronts, and random topological orders of the dependence graph.
+ */
+
+#ifndef UOV_SCHEDULE_SCHEDULE_H
+#define UOV_SCHEDULE_SCHEDULE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stencil.h"
+#include "geometry/ivec.h"
+#include "geometry/matrix.h"
+
+namespace uov {
+
+/** Visitor for iteration points, called in execution order. */
+using IterationVisitor = std::function<void(const IVec &)>;
+
+/** A total execution order over integer boxes. */
+class Schedule
+{
+  public:
+    virtual ~Schedule() = default;
+
+    /** Human-readable name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Enumerate every point of [lo, hi] exactly once, in order. */
+    virtual void forEach(const IVec &lo, const IVec &hi,
+                         const IterationVisitor &visit) const = 0;
+};
+
+/**
+ * Lexicographic order with a loop permutation: perm[k] names the
+ * original dimension iterated at nest level k (outermost first).
+ * perm = identity is the original program order; a 2-D swap is loop
+ * interchange.
+ */
+class LexSchedule : public Schedule
+{
+  public:
+    explicit LexSchedule(std::vector<size_t> perm);
+
+    /** Original program order for depth d. */
+    static LexSchedule identity(size_t d);
+
+    std::string name() const override;
+    void forEach(const IVec &lo, const IVec &hi,
+                 const IterationVisitor &visit) const override;
+
+    const std::vector<size_t> &perm() const { return _perm; }
+
+  private:
+    std::vector<size_t> _perm;
+};
+
+/**
+ * Unimodular transformation schedule: execute points in lexicographic
+ * order of y = T*q.  T unimodular makes this a bijection on Z^d, so
+ * every box point appears exactly once (points whose preimage falls
+ * outside the box are skipped).  Skewing and reversal-free interchange
+ * compose here.
+ */
+class TransformedSchedule : public Schedule
+{
+  public:
+    explicit TransformedSchedule(IMatrix transform,
+                                 std::string label = "");
+
+    std::string name() const override;
+    void forEach(const IVec &lo, const IVec &hi,
+                 const IterationVisitor &visit) const override;
+
+    const IMatrix &transform() const { return _t; }
+
+  private:
+    IMatrix _t;
+    IMatrix _t_inv;
+    std::string _label;
+};
+
+/**
+ * Rectangular tiling of a (possibly skewed) iteration space: the
+ * transformed space y = T*q is partitioned into tiles of the given
+ * sizes; tiles execute in lexicographic order of their index, points
+ * within a tile in lexicographic order of y (Section 2's "atomic units
+ * of execution").
+ */
+class TiledSchedule : public Schedule
+{
+  public:
+    TiledSchedule(std::vector<int64_t> tile_sizes, IMatrix transform,
+                  std::string label = "");
+
+    /** Untransformed rectangular tiling. */
+    static TiledSchedule rectangular(std::vector<int64_t> tile_sizes);
+
+    std::string name() const override;
+    void forEach(const IVec &lo, const IVec &hi,
+                 const IterationVisitor &visit) const override;
+
+    const IMatrix &transform() const { return _t; }
+    const std::vector<int64_t> &tileSizes() const { return _sizes; }
+
+  private:
+    std::vector<int64_t> _sizes;
+    IMatrix _t;
+    IMatrix _t_inv;
+    std::string _label;
+};
+
+/**
+ * Two-level (hierarchical) tiling: inner tiles for one memory level
+ * grouped into outer super-tiles for the next (the paper's Section 7
+ * future work, citing Carter/Ferrante hierarchical tiling).  Outer
+ * tiles execute lexicographically, inner tiles within an outer tile
+ * lexicographically, points within an inner tile lexicographically --
+ * all in the (optionally skewed) transformed space, legal under the
+ * same component-wise non-negativity condition as single-level tiling.
+ */
+class HierarchicalTiledSchedule : public Schedule
+{
+  public:
+    /**
+     * @param inner_sizes inner (e.g. L1) tile edge lengths
+     * @param outer_factors outer tile size in units of inner tiles
+     * @param transform unimodular skew applied first
+     */
+    HierarchicalTiledSchedule(std::vector<int64_t> inner_sizes,
+                              std::vector<int64_t> outer_factors,
+                              IMatrix transform,
+                              std::string label = "");
+
+    std::string name() const override;
+    void forEach(const IVec &lo, const IVec &hi,
+                 const IterationVisitor &visit) const override;
+
+  private:
+    std::vector<int64_t> _inner;
+    std::vector<int64_t> _outer; ///< in elements (inner * factor)
+    IMatrix _t;
+    IMatrix _t_inv;
+    std::string _label;
+};
+
+/**
+ * Wavefront schedule: points ordered by h . q, ties broken
+ * lexicographically.  Legal iff h . v > 0 for every dependence; models
+ * the fine-grained parallel schedules the UOV must survive.
+ */
+class WavefrontSchedule : public Schedule
+{
+  public:
+    explicit WavefrontSchedule(IVec h);
+
+    std::string name() const override;
+    void forEach(const IVec &lo, const IVec &hi,
+                 const IterationVisitor &visit) const override;
+
+    const IVec &waveVector() const { return _h; }
+
+  private:
+    IVec _h;
+};
+
+/**
+ * Multi-dimensional affine schedule: points ordered lexicographically
+ * by (h_1.q, ..., h_r.q), remaining ties broken by lexicographic
+ * point order.  Generalizes WavefrontSchedule (r = 1) and subsumes
+ * non-unimodular time mappings like ((2,1).q, (0,1).q).  Legal iff
+ * every dependence maps to a lexicographically positive tuple.
+ */
+class AffineSchedule : public Schedule
+{
+  public:
+    explicit AffineSchedule(std::vector<IVec> rows,
+                            std::string label = "");
+
+    std::string name() const override;
+    void forEach(const IVec &lo, const IVec &hi,
+                 const IterationVisitor &visit) const override;
+
+    const std::vector<IVec> &rows() const { return _rows; }
+
+    /** The schedule tuple of a point. */
+    std::vector<int64_t> timeOf(const IVec &q) const;
+
+  private:
+    std::vector<IVec> _rows;
+    std::string _label;
+};
+
+/**
+ * Algebraic OV-legality under an AffineSchedule (the r-dimensional
+ * generalization of ovLegalForLinearSchedule): ov is safe iff every
+ * dependence v != ov satisfies time(v) <lex time(ov).  Conservative
+ * about ties, exactly like the 1-D rule.
+ * @pre every dependence has lexicographically positive time
+ */
+bool ovLegalForAffineSchedule(const AffineSchedule &schedule,
+                              const IVec &ov, const Stencil &stencil);
+
+/**
+ * A uniformly random topological order of the dependence graph: every
+ * prefix respects the stencil, nothing else is promised.  The
+ * adversarial end of "any legal schedule".
+ */
+class RandomTopoSchedule : public Schedule
+{
+  public:
+    RandomTopoSchedule(Stencil stencil, uint64_t seed);
+
+    std::string name() const override;
+    void forEach(const IVec &lo, const IVec &hi,
+                 const IterationVisitor &visit) const override;
+
+  private:
+    Stencil _stencil;
+    uint64_t _seed;
+};
+
+} // namespace uov
+
+#endif // UOV_SCHEDULE_SCHEDULE_H

@@ -1,0 +1,78 @@
+#include "schedule/schedule_specific.h"
+
+#include <cmath>
+
+#include "core/storage_count.h"
+#include "support/error.h"
+
+namespace uov {
+
+ScheduleSpecificResult
+bestOvForLinearSchedule(const IVec &h, const Stencil &stencil,
+                        const std::optional<Polyhedron> &isg)
+{
+    UOV_REQUIRE(h.dim() == stencil.dim(), "dimension mismatch");
+    for (const auto &v : stencil.deps())
+        UOV_REQUIRE(h.dot(v) > 0, "h." << v.str()
+                                       << " <= 0: not a legal schedule");
+    if (isg)
+        UOV_REQUIRE(isg->dim() == stencil.dim(),
+                    "ISG dimension mismatch");
+
+    auto objective_of = [&](const IVec &w) {
+        return isg ? storageCellCount(w, *isg) : w.normSquared();
+    };
+
+    // The initial UOV is legal for every legal linear schedule:
+    // for each dependence v, h.v < h.(sum of deps) unless the stencil
+    // is the single vector {v} == ov (also legal).
+    IVec initial = stencil.initialUov();
+    UOV_CHECK(ovLegalForLinearSchedule(h, initial, stencil),
+              "initial UOV must be schedule-legal");
+
+    ScheduleSpecificResult best{initial, objective_of(initial), 0};
+
+    int64_t radius_sq = initial.normSquared();
+    if (isg) {
+        // Length bound from the storage bound, as in Section 3.2.1.
+        radius_sq = knownBoundsRadiusSquared(initial, *isg);
+    }
+    auto radius = static_cast<int64_t>(
+                      std::sqrt(static_cast<double>(radius_sq))) +
+                  1;
+
+    size_t d = stencil.dim();
+    IVec w(d);
+    for (size_t c = 0; c < d; ++c)
+        w[c] = -radius;
+    for (;;) {
+        if (!w.isZero() && w.normSquared() <= radius_sq &&
+            h.dot(w) > 0) {
+            ++best.candidates;
+            if (ovLegalForLinearSchedule(h, w, stencil)) {
+                int64_t obj = objective_of(w);
+                if (obj < best.objective ||
+                    (obj == best.objective && w < best.ov)) {
+                    best.objective = obj;
+                    best.ov = w;
+                }
+            }
+        }
+        size_t c = d;
+        bool done = false;
+        while (c-- > 0) {
+            if (w[c] < radius) {
+                ++w[c];
+                break;
+            }
+            w[c] = -radius;
+            if (c == 0)
+                done = true;
+        }
+        if (done)
+            break;
+    }
+    return best;
+}
+
+} // namespace uov

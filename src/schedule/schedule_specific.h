@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Schedule-specific storage optimization: the baseline the paper
+ * compares against (Section 6: "The most closely related work to ours
+ * is [Lefebvre & Feautrier], which also determines storage reuse for
+ * a loop.  Their work takes as input a given parallel schedule").
+ *
+ * Given a linear schedule sigma(q) = h.q, find the best occupancy
+ * vector that is safe *for that schedule only* (ovLegalForLinearSchedule)
+ * -- generally shorter than the UOV, hence less storage, but invalid
+ * for other schedules.  The bench quantifies the paper's trade-off:
+ * schedule-specific < UOV < full expansion in storage, with only the
+ * UOV surviving re-scheduling.
+ */
+
+#ifndef UOV_SCHEDULE_SCHEDULE_SPECIFIC_H
+#define UOV_SCHEDULE_SCHEDULE_SPECIFIC_H
+
+#include <optional>
+
+#include "core/stencil.h"
+#include "geometry/polyhedron.h"
+#include "schedule/ov_legality.h"
+
+namespace uov {
+
+/** Result of the schedule-specific OV search. */
+struct ScheduleSpecificResult
+{
+    IVec ov;              ///< best OV for the given schedule
+    int64_t objective;    ///< |ov|^2, or cells when an ISG was given
+    uint64_t candidates;  ///< vectors examined
+};
+
+/**
+ * The best occupancy vector for the linear schedule sigma(q) = h.q:
+ * shortest (or fewest storage cells over @p isg, when given) among
+ * all vectors legal for that schedule.  Exhaustive over the ball
+ * bounded by the initial UOV, which is legal for every legal h.
+ *
+ * @pre h.v > 0 for every dependence (h is a legal schedule)
+ */
+ScheduleSpecificResult bestOvForLinearSchedule(
+    const IVec &h, const Stencil &stencil,
+    const std::optional<Polyhedron> &isg = std::nullopt);
+
+} // namespace uov
+
+#endif // UOV_SCHEDULE_SCHEDULE_SPECIFIC_H

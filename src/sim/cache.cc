@@ -1,0 +1,112 @@
+#include "sim/cache.h"
+
+#include "support/error.h"
+
+namespace uov {
+
+namespace {
+
+bool
+isPowerOfTwo(int64_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+unsigned
+log2OfPow2(int64_t v)
+{
+    unsigned s = 0;
+    while ((int64_t{1} << s) < v)
+        ++s;
+    return s;
+}
+
+} // namespace
+
+int64_t
+CacheConfig::sets() const
+{
+    return size_bytes / (line_bytes * associativity);
+}
+
+void
+CacheConfig::validate() const
+{
+    UOV_REQUIRE(isPowerOfTwo(line_bytes), name << ": line size must be a "
+                                                  "power of two");
+    UOV_REQUIRE(associativity >= 1, name << ": associativity >= 1");
+    UOV_REQUIRE(size_bytes % (line_bytes * associativity) == 0,
+                name << ": size must be sets*ways*line");
+    UOV_REQUIRE(isPowerOfTwo(sets()), name << ": set count must be a "
+                                              "power of two");
+}
+
+Cache::Cache(CacheConfig config) : _config(std::move(config))
+{
+    _config.validate();
+    _sets = _config.sets();
+    _line_shift = log2OfPow2(_config.line_bytes);
+    _set_shift = log2OfPow2(_sets);
+    _ways.assign(static_cast<size_t>(_sets * _config.associativity),
+                 Way{});
+}
+
+bool
+Cache::access(uint64_t addr, bool is_write)
+{
+    uint64_t line = addr >> _line_shift;
+    auto set = static_cast<size_t>(line & (_sets - 1));
+    uint64_t tag = line >> _set_shift;
+
+    Way *base = &_ways[set * _config.associativity];
+    ++_stamp;
+
+    for (int64_t w = 0; w < _config.associativity; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lru = _stamp;
+            way.dirty = way.dirty || is_write;
+            ++_hits;
+            return true;
+        }
+    }
+
+    // Miss: fill an invalid way if any, else evict the LRU way.
+    Way *victim = base;
+    for (int64_t w = 0; w < _config.associativity; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    if (victim->valid && victim->dirty)
+        ++_writebacks;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = _stamp;
+    victim->dirty = is_write;
+    ++_misses;
+    return false;
+}
+
+double
+Cache::missRate() const
+{
+    uint64_t total = accesses();
+    return total == 0 ? 0.0
+                      : static_cast<double>(_misses) /
+                            static_cast<double>(total);
+}
+
+void
+Cache::reset()
+{
+    for (auto &w : _ways)
+        w = Way{};
+    _stamp = _hits = _misses = 0;
+    _writebacks = 0;
+}
+
+} // namespace uov

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Memory-access policies for the kernels.
+ *
+ * Every kernel variant (Section 5's natural / OV-mapped / tiled /
+ * storage-optimized codes) is written once, templated on a policy:
+ *
+ *   NativeMem -- direct array access, zero overhead; used for
+ *                wall-clock benchmarking on the host.
+ *   SimMem    -- every load/store/branch is replayed through a
+ *                MemorySystem; used to reproduce the paper's
+ *                cycles-per-iteration curves on the simulated 1998
+ *                machines.
+ *
+ * SimBuffer couples real storage with a stable virtual address range
+ * from a VirtualArena so the simulated address stream reflects the
+ * kernel's actual layout (including OV interleaving).
+ */
+
+#ifndef UOV_SIM_MEMORY_POLICY_H
+#define UOV_SIM_MEMORY_POLICY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.h"
+#include "support/error.h"
+
+namespace uov {
+
+/** Hands out non-overlapping virtual address ranges. */
+class VirtualArena
+{
+  public:
+    /** Reserve @p bytes aligned to @p align; returns the base address. */
+    uint64_t
+    allocate(uint64_t bytes, uint64_t align = 64)
+    {
+        UOV_REQUIRE(align > 0 && (align & (align - 1)) == 0,
+                    "alignment must be a power of two");
+        _next = (_next + align - 1) & ~(align - 1);
+        uint64_t base = _next;
+        _next += bytes;
+        return base;
+    }
+
+  private:
+    uint64_t _next = 1 << 20; // keep address 0 unused
+};
+
+/** Real storage plus its simulated address range. */
+template <typename T>
+class SimBuffer
+{
+  public:
+    SimBuffer(VirtualArena &arena, size_t count, T fill = T{})
+        : _data(count, fill),
+          _base(arena.allocate(count * sizeof(T)))
+    {
+    }
+
+    size_t size() const { return _data.size(); }
+    T *data() { return _data.data(); }
+    const T *data() const { return _data.data(); }
+
+    uint64_t
+    addr(size_t i) const
+    {
+        return _base + i * sizeof(T);
+    }
+
+    T &operator[](size_t i) { return _data[i]; }
+    const T &operator[](size_t i) const { return _data[i]; }
+
+  private:
+    std::vector<T> _data;
+    uint64_t _base;
+};
+
+/** Zero-overhead policy for wall-clock runs. */
+struct NativeMem
+{
+    template <typename T>
+    inline T
+    load(const SimBuffer<T> &b, size_t i)
+    {
+        return b.data()[i];
+    }
+
+    template <typename T>
+    inline void
+    store(SimBuffer<T> &b, size_t i, T v)
+    {
+        b.data()[i] = v;
+    }
+
+    inline void branch() {}
+    inline void compute(double) {}
+};
+
+/** Trace-replay policy for the simulated machines. */
+struct SimMem
+{
+    MemorySystem *ms;
+
+    template <typename T>
+    inline T
+    load(const SimBuffer<T> &b, size_t i)
+    {
+        ms->access(b.addr(i), false);
+        return b.data()[i];
+    }
+
+    template <typename T>
+    inline void
+    store(SimBuffer<T> &b, size_t i, T v)
+    {
+        ms->access(b.addr(i), true);
+        b.data()[i] = v;
+    }
+
+    inline void branch() { ms->branch(); }
+    inline void compute(double c) { ms->compute(c); }
+};
+
+} // namespace uov
+
+#endif // UOV_SIM_MEMORY_POLICY_H

@@ -1,0 +1,87 @@
+#include "sim/trace.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "support/error.h"
+#include "support/table.h"
+
+namespace uov {
+
+uint64_t
+Trace::loadCount() const
+{
+    uint64_t n = 0;
+    for (const auto &e : _events)
+        if (e.kind == TraceEvent::Kind::Load)
+            ++n;
+    return n;
+}
+
+uint64_t
+Trace::storeCount() const
+{
+    uint64_t n = 0;
+    for (const auto &e : _events)
+        if (e.kind == TraceEvent::Kind::Store)
+            ++n;
+    return n;
+}
+
+uint64_t
+Trace::branchCount() const
+{
+    uint64_t n = 0;
+    for (const auto &e : _events)
+        if (e.kind == TraceEvent::Kind::Branch)
+            ++n;
+    return n;
+}
+
+uint64_t
+Trace::footprintBytes(int64_t line_bytes) const
+{
+    UOV_REQUIRE(line_bytes > 0, "line size must be positive");
+    std::unordered_set<uint64_t> lines;
+    for (const auto &e : _events) {
+        if (e.kind != TraceEvent::Kind::Branch)
+            lines.insert(e.addr / static_cast<uint64_t>(line_bytes));
+    }
+    return lines.size() * static_cast<uint64_t>(line_bytes);
+}
+
+double
+Trace::replay(MemorySystem &ms) const
+{
+    for (const auto &e : _events) {
+        switch (e.kind) {
+          case TraceEvent::Kind::Load:
+            ms.access(e.addr, false);
+            break;
+          case TraceEvent::Kind::Store:
+            ms.access(e.addr, true);
+            break;
+          case TraceEvent::Kind::Branch:
+            ms.branch();
+            break;
+        }
+    }
+    return ms.cycles();
+}
+
+std::string
+Trace::summary() const
+{
+    std::ostringstream oss;
+    oss << formatCount(static_cast<int64_t>(size())) << " events ("
+        << formatCount(static_cast<int64_t>(loadCount())) << " loads, "
+        << formatCount(static_cast<int64_t>(storeCount()))
+        << " stores, "
+        << formatCount(static_cast<int64_t>(branchCount()))
+        << " branches), footprint "
+        << formatCount(static_cast<int64_t>(footprintBytes()))
+        << " bytes";
+    return oss.str();
+}
+
+} // namespace uov

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Address-trace recording and replay.
+ *
+ * TraceRecorder is a memory policy (like SimMem) that captures the
+ * exact access stream a kernel produces; traces can be replayed
+ * through any MemorySystem, diffed, or summarized.  This is the
+ * glue for trace-driven experiments: record once, replay across all
+ * three machine models without re-running the kernel.
+ */
+
+#ifndef UOV_SIM_TRACE_H
+#define UOV_SIM_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/memory_policy.h"
+
+namespace uov {
+
+/** One recorded event. */
+struct TraceEvent
+{
+    enum class Kind : uint8_t { Load, Store, Branch };
+    Kind kind;
+    uint64_t addr; ///< 0 for branches
+
+    bool operator==(const TraceEvent &o) const
+    {
+        return kind == o.kind && addr == o.addr;
+    }
+};
+
+/** A recorded access stream. */
+class Trace
+{
+  public:
+    void
+    record(TraceEvent::Kind kind, uint64_t addr)
+    {
+        _events.push_back(TraceEvent{kind, addr});
+    }
+
+    size_t size() const { return _events.size(); }
+    const std::vector<TraceEvent> &events() const { return _events; }
+
+    uint64_t loadCount() const;
+    uint64_t storeCount() const;
+    uint64_t branchCount() const;
+
+    /** Distinct bytes touched (footprint), line-granular. */
+    uint64_t footprintBytes(int64_t line_bytes = 64) const;
+
+    /** Replay through a memory system; returns total cycles. */
+    double replay(MemorySystem &ms) const;
+
+    /** Compact text summary. */
+    std::string summary() const;
+
+  private:
+    std::vector<TraceEvent> _events;
+};
+
+/** Memory policy that records while computing real results. */
+struct TracingMem
+{
+    Trace *trace;
+    double compute_cycles = 0; ///< accumulated kernel compute hints
+
+    template <typename T>
+    T
+    load(const SimBuffer<T> &b, size_t i)
+    {
+        trace->record(TraceEvent::Kind::Load, b.addr(i));
+        return b.data()[i];
+    }
+
+    template <typename T>
+    void
+    store(SimBuffer<T> &b, size_t i, T v)
+    {
+        trace->record(TraceEvent::Kind::Store, b.addr(i));
+        b.data()[i] = v;
+    }
+
+    void branch() { trace->record(TraceEvent::Kind::Branch, 0); }
+    void compute(double c) { compute_cycles += c; }
+};
+
+} // namespace uov
+
+#endif // UOV_SIM_TRACE_H

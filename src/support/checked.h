@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Checked 64-bit integer arithmetic.
+ *
+ * All exact lattice/polyhedral computation in the library runs on
+ * int64_t.  These helpers throw UovOverflowError instead of silently
+ * wrapping, so a search over a pathological stencil fails loudly.
+ */
+
+#ifndef UOV_SUPPORT_CHECKED_H
+#define UOV_SUPPORT_CHECKED_H
+
+#include <cstdint>
+#include <numeric>
+
+#include "support/error.h"
+
+namespace uov {
+
+/** Add with overflow detection. */
+inline int64_t
+checkedAdd(int64_t a, int64_t b)
+{
+    int64_t r;
+    if (__builtin_add_overflow(a, b, &r))
+        throw UovOverflowError("add");
+    return r;
+}
+
+/** Subtract with overflow detection. */
+inline int64_t
+checkedSub(int64_t a, int64_t b)
+{
+    int64_t r;
+    if (__builtin_sub_overflow(a, b, &r))
+        throw UovOverflowError("sub");
+    return r;
+}
+
+/** Multiply with overflow detection. */
+inline int64_t
+checkedMul(int64_t a, int64_t b)
+{
+    int64_t r;
+    if (__builtin_mul_overflow(a, b, &r))
+        throw UovOverflowError("mul");
+    return r;
+}
+
+/** Negate with overflow detection (INT64_MIN has no negation). */
+inline int64_t
+checkedNeg(int64_t a)
+{
+    if (a == INT64_MIN)
+        throw UovOverflowError("neg");
+    return -a;
+}
+
+/** |a| with overflow detection. */
+inline int64_t
+checkedAbs(int64_t a)
+{
+    return a < 0 ? checkedNeg(a) : a;
+}
+
+/**
+ * Non-negative gcd; gcd(0, 0) == 0.  Uses std::gcd on magnitudes, with
+ * the INT64_MIN edge handled by checkedAbs.
+ */
+inline int64_t
+gcd64(int64_t a, int64_t b)
+{
+    return std::gcd(checkedAbs(a), checkedAbs(b));
+}
+
+/**
+ * Floor division: floorDiv(7, 2) == 3, floorDiv(-7, 2) == -4.
+ * @pre b != 0
+ */
+inline int64_t
+floorDiv(int64_t a, int64_t b)
+{
+    UOV_CHECK(b != 0, "floorDiv by zero");
+    int64_t q = a / b;
+    int64_t r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+/** Ceiling division. @pre b != 0 */
+inline int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    UOV_CHECK(b != 0, "ceilDiv by zero");
+    return -floorDiv(-a, b);
+}
+
+/** Mathematical mod: result always in [0, b). @pre b > 0 */
+inline int64_t
+floorMod(int64_t a, int64_t b)
+{
+    UOV_CHECK(b > 0, "floorMod requires positive modulus");
+    int64_t r = a % b;
+    if (r < 0)
+        r += b;
+    return r;
+}
+
+} // namespace uov
+
+#endif // UOV_SUPPORT_CHECKED_H

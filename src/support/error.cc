@@ -1,0 +1,18 @@
+#include "support/error.h"
+
+namespace uov {
+namespace detail {
+
+std::string
+checkMessage(const char *file, int line, const char *expr,
+             const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << file << ":" << line << ": check `" << expr << "' failed";
+    if (!msg.empty())
+        oss << ": " << msg;
+    return oss.str();
+}
+
+} // namespace detail
+} // namespace uov

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Error handling primitives for the uov library.
+ *
+ * Follows the gem5 convention of distinguishing internal invariant
+ * violations (panic -> UovInternalError) from user-input problems
+ * (fatal -> UovUserError).  Both throw exceptions rather than abort so
+ * that library users and tests can recover.
+ */
+
+#ifndef UOV_SUPPORT_ERROR_H
+#define UOV_SUPPORT_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace uov {
+
+/** Base class of all exceptions thrown by the uov library. */
+class UovError : public std::runtime_error
+{
+  public:
+    explicit UovError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * Thrown when a library invariant is violated: this indicates a bug in
+ * the library itself, never a user mistake.
+ */
+class UovInternalError : public UovError
+{
+  public:
+    explicit UovInternalError(const std::string &what_arg)
+        : UovError("internal error: " + what_arg)
+    {}
+};
+
+/**
+ * Thrown when the caller supplied invalid input (empty stencil,
+ * non-lexicographically-positive dependence, degenerate polyhedron...).
+ */
+class UovUserError : public UovError
+{
+  public:
+    explicit UovUserError(const std::string &what_arg)
+        : UovError(what_arg)
+    {}
+};
+
+/** Thrown when exact integer arithmetic would overflow. */
+class UovOverflowError : public UovError
+{
+  public:
+    explicit UovOverflowError(const std::string &what_arg)
+        : UovError("integer overflow: " + what_arg)
+    {}
+};
+
+namespace detail {
+
+/** Build "<file>:<line>: <msg>" for check macros. */
+std::string checkMessage(const char *file, int line, const char *expr,
+                         const std::string &msg);
+
+} // namespace detail
+
+} // namespace uov
+
+/**
+ * Check an internal invariant; throws UovInternalError on failure.
+ * Usage: UOV_CHECK(x > 0, "x must be positive, got " << x);
+ */
+#define UOV_CHECK(expr, msg)                                              \
+    do {                                                                  \
+        if (!(expr)) {                                                    \
+            std::ostringstream uov_check_oss_;                            \
+            uov_check_oss_ << msg;                                        \
+            throw ::uov::UovInternalError(::uov::detail::checkMessage(    \
+                __FILE__, __LINE__, #expr, uov_check_oss_.str()));        \
+        }                                                                 \
+    } while (0)
+
+/** Validate user input; throws UovUserError on failure. */
+#define UOV_REQUIRE(expr, msg)                                            \
+    do {                                                                  \
+        if (!(expr)) {                                                    \
+            std::ostringstream uov_require_oss_;                          \
+            uov_require_oss_ << msg;                                      \
+            throw ::uov::UovUserError(uov_require_oss_.str());            \
+        }                                                                 \
+    } while (0)
+
+/** Unconditional internal failure. */
+#define UOV_UNREACHABLE(msg)                                              \
+    do {                                                                  \
+        std::ostringstream uov_unreachable_oss_;                          \
+        uov_unreachable_oss_ << msg;                                      \
+        throw ::uov::UovInternalError(::uov::detail::checkMessage(        \
+            __FILE__, __LINE__, "unreachable", uov_unreachable_oss_.str())); \
+    } while (0)
+
+#endif // UOV_SUPPORT_ERROR_H

@@ -1,0 +1,31 @@
+#include "support/logging.h"
+
+namespace uov {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::write(LogLevel lvl, const std::string &msg)
+{
+    if (_sink)
+        *_sink << "[uov:" << logLevelName(lvl) << "] " << msg << "\n";
+}
+
+const char *
+logLevelName(LogLevel lvl)
+{
+    switch (lvl) {
+      case LogLevel::Error: return "error";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+} // namespace uov

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal leveled logger.
+ *
+ * The library is quiet by default (Warn); benches and examples raise the
+ * level to Info to narrate what they reproduce.  Not thread-safe by
+ * design -- the library is single-threaded.
+ */
+
+#ifndef UOV_SUPPORT_LOGGING_H
+#define UOV_SUPPORT_LOGGING_H
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace uov {
+
+/** Severity levels, most severe first. */
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Global log configuration and sink. */
+class Logger
+{
+  public:
+    /** The process-wide logger instance. */
+    static Logger &instance();
+
+    LogLevel level() const { return _level; }
+    void level(LogLevel lvl) { _level = lvl; }
+
+    /** Redirect output (tests capture messages this way). */
+    void sink(std::ostream *os) { _sink = os; }
+
+    bool enabled(LogLevel lvl) const
+    {
+        return static_cast<int>(lvl) <= static_cast<int>(_level);
+    }
+
+    /** Emit one formatted line if @p lvl is enabled. */
+    void write(LogLevel lvl, const std::string &msg);
+
+  private:
+    Logger() = default;
+
+    LogLevel _level = LogLevel::Warn;
+    std::ostream *_sink = &std::cerr;
+};
+
+/** Name of a level for the log prefix. */
+const char *logLevelName(LogLevel lvl);
+
+} // namespace uov
+
+#define UOV_LOG(lvl, msg)                                                 \
+    do {                                                                  \
+        if (::uov::Logger::instance().enabled(lvl)) {                     \
+            std::ostringstream uov_log_oss_;                              \
+            uov_log_oss_ << msg;                                          \
+            ::uov::Logger::instance().write(lvl, uov_log_oss_.str());     \
+        }                                                                 \
+    } while (0)
+
+#define UOV_LOG_ERROR(msg) UOV_LOG(::uov::LogLevel::Error, msg)
+#define UOV_LOG_WARN(msg)  UOV_LOG(::uov::LogLevel::Warn, msg)
+#define UOV_LOG_INFO(msg)  UOV_LOG(::uov::LogLevel::Info, msg)
+#define UOV_LOG_DEBUG(msg) UOV_LOG(::uov::LogLevel::Debug, msg)
+
+#endif // UOV_SUPPORT_LOGGING_H

@@ -1,0 +1,159 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace uov {
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    UOV_REQUIRE(!cols.empty(), "table header must have at least one column");
+    _header = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    if (!_header.empty()) {
+        UOV_REQUIRE(cells.size() == _header.size(),
+                    "row width " << cells.size() << " != header width "
+                                 << _header.size());
+    }
+    _rows.push_back(std::move(cells));
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(const std::string &s)
+{
+    _cells.push_back(s);
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(int64_t v)
+{
+    _cells.push_back(std::to_string(v));
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(uint64_t v)
+{
+    _cells.push_back(std::to_string(v));
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(double v, int precision)
+{
+    _cells.push_back(formatDouble(v, precision));
+    return *this;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    // Compute column widths over header + all rows.
+    size_t ncols = _header.size();
+    for (const auto &r : _rows)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c)
+            width[c] = std::max(width[c], cells[c].size());
+    };
+    widen(_header);
+    for (const auto &r : _rows)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]))
+               << cells[c];
+            if (c + 1 < cells.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    os << "== " << _title << " ==\n";
+    if (!_header.empty()) {
+        emit(_header);
+        size_t total = 0;
+        for (size_t c = 0; c < ncols; ++c)
+            total += width[c] + (c + 1 < ncols ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : _rows)
+        emit(r);
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << csvEscape(cells[c]);
+            if (c + 1 < cells.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    if (!_header.empty())
+        emit(_header);
+    for (const auto &r : _rows)
+        emit(r);
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+formatCount(int64_t v)
+{
+    std::string digits = std::to_string(v < 0 ? -v : v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out += ',';
+        out += *it;
+        ++count;
+    }
+    if (v < 0)
+        out += '-';
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace uov

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Plain-text and CSV table emitters for the benchmark harness.
+ *
+ * Every bench binary reproduces one of the paper's tables or figures; a
+ * Table collects rows and renders them either as an aligned text table
+ * (for the console) or CSV (for plotting).
+ */
+
+#ifndef UOV_SUPPORT_TABLE_H
+#define UOV_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace uov {
+
+/** A simple column-aligned table with a title and header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : _title(std::move(title)) {}
+
+    /** Set the header row; defines the column count. */
+    void header(std::vector<std::string> cols);
+
+    /** Append a row; must match the header width if one was set. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: build a row from heterogeneous cells. */
+    class RowBuilder
+    {
+      public:
+        explicit RowBuilder(Table &table) : _table(table) {}
+        ~RowBuilder() { _table.row(std::move(_cells)); }
+
+        RowBuilder(const RowBuilder &) = delete;
+        RowBuilder &operator=(const RowBuilder &) = delete;
+
+        RowBuilder &cell(const std::string &s);
+        RowBuilder &cell(int64_t v);
+        RowBuilder &cell(uint64_t v);
+        RowBuilder &cell(double v, int precision = 2);
+
+      private:
+        Table &_table;
+        std::vector<std::string> _cells;
+    };
+
+    RowBuilder addRow() { return RowBuilder(*this); }
+
+    const std::string &title() const { return _title; }
+    size_t rowCount() const { return _rows.size(); }
+
+    /** Render as an aligned text table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows, no title). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Format a double with fixed precision (locale-independent). */
+std::string formatDouble(double v, int precision = 2);
+
+/** Format a count with thousands separators: 1234567 -> "1,234,567". */
+std::string formatCount(int64_t v);
+
+} // namespace uov
+
+#endif // UOV_SUPPORT_TABLE_H

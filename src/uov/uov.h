@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Umbrella header: everything a library user needs with one include.
+ *
+ *     #include "uov/uov.h"
+ *
+ * Layered from the bottom up; include individual headers instead when
+ * compile time matters.
+ */
+
+#ifndef UOV_UOV_H
+#define UOV_UOV_H
+
+// Support and exact geometry.
+#include "geometry/ivec.h"
+#include "geometry/lattice.h"
+#include "geometry/matrix.h"
+#include "geometry/polyhedron.h"
+#include "geometry/rational.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+// The paper's contribution.
+#include "core/cone.h"
+#include "core/done_dead.h"
+#include "core/greedy.h"
+#include "core/reduction.h"
+#include "core/search.h"
+#include "core/stencil.h"
+#include "core/storage_count.h"
+#include "core/uov.h"
+
+// Storage mappings and containers.
+#include "mapping/expanded_array.h"
+#include "mapping/modular_mapping.h"
+#include "mapping/ov_array.h"
+#include "mapping/storage_mapping.h"
+
+// IR, analysis, and the compiler pipeline.
+#include "analysis/dependence.h"
+#include "analysis/multi.h"
+#include "analysis/pipeline.h"
+#include "analysis/region.h"
+#include "ir/program.h"
+
+// Schedules, legality, execution, and baselines.
+#include "schedule/executor.h"
+#include "schedule/legality.h"
+#include "schedule/ov_legality.h"
+#include "schedule/schedule.h"
+#include "schedule/schedule_specific.h"
+
+// Machine models and kernels.
+#include "kernels/heat3d.h"
+#include "kernels/psm.h"
+#include "kernels/simple.h"
+#include "kernels/stencil5.h"
+#include "sim/machine.h"
+#include "sim/memory_policy.h"
+#include "sim/trace.h"
+
+// Tools.
+#include "codegen/codegen.h"
+#include "driver/nest_parser.h"
+
+#endif // UOV_UOV_H

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for ConeSolver: exact non-negative integer cone
+ * membership with certificates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cone.h"
+#include "support/error.h"
+
+namespace uov {
+namespace {
+
+TEST(ConeSolver, ZeroIsAlwaysMember)
+{
+    ConeSolver solver(stencils::simpleExample());
+    EXPECT_TRUE(solver.contains(IVec{0, 0}));
+}
+
+TEST(ConeSolver, GeneratorsAreMembers)
+{
+    ConeSolver solver(stencils::fivePoint());
+    for (const auto &v : solver.stencil().deps())
+        EXPECT_TRUE(solver.contains(v)) << v.str();
+}
+
+TEST(ConeSolver, SimpleExampleMembership)
+{
+    ConeSolver solver(stencils::simpleExample());
+    // Any (a, b) with a, b >= 0 is in the cone of {(1,0),(0,1),(1,1)}.
+    EXPECT_TRUE(solver.contains(IVec{3, 5}));
+    EXPECT_TRUE(solver.contains(IVec{7, 0}));
+    EXPECT_FALSE(solver.contains(IVec{-1, 2}));
+    EXPECT_FALSE(solver.contains(IVec{2, -1}));
+}
+
+TEST(ConeSolver, FivePointMembership)
+{
+    ConeSolver solver(stencils::fivePoint());
+    // First coordinate counts the number of generators used.
+    EXPECT_TRUE(solver.contains(IVec{1, 2}));
+    EXPECT_TRUE(solver.contains(IVec{2, 0}));  // (1,2)+(1,-2) etc.
+    EXPECT_TRUE(solver.contains(IVec{2, 4}));  // (1,2)+(1,2)
+    EXPECT_FALSE(solver.contains(IVec{1, 3})); // one step reaches +-2 max
+    EXPECT_FALSE(solver.contains(IVec{2, 5})); // two steps reach +-4 max
+    EXPECT_FALSE(solver.contains(IVec{0, 2})); // no zero-time generator
+}
+
+TEST(ConeSolver, SparseLatticeGaps)
+{
+    // Generators (2,0) and (0,3): membership requires even x, y % 3 == 0.
+    ConeSolver solver(Stencil({IVec{2, 0}, IVec{0, 3}}));
+    EXPECT_TRUE(solver.contains(IVec{4, 6}));
+    EXPECT_FALSE(solver.contains(IVec{3, 6}));
+    EXPECT_FALSE(solver.contains(IVec{4, 4}));
+}
+
+TEST(ConeSolver, MixedSignSecondCoordinate)
+{
+    // {(1,5), (1,-5)}: (2,0) reachable though both steps overshoot.
+    ConeSolver solver(Stencil({IVec{1, 5}, IVec{1, -5}}));
+    EXPECT_TRUE(solver.contains(IVec{2, 0}));
+    EXPECT_TRUE(solver.contains(IVec{3, 5}));
+    EXPECT_FALSE(solver.contains(IVec{2, 1}));
+}
+
+TEST(ConeSolver, CertificateReconstructsVector)
+{
+    ConeSolver solver(stencils::fivePoint());
+    IVec w{4, 2};
+    auto cert = solver.certificate(w);
+    ASSERT_TRUE(cert.has_value());
+    IVec sum(2);
+    int64_t total = 0;
+    for (size_t i = 0; i < cert->size(); ++i) {
+        EXPECT_GE((*cert)[i], 0);
+        sum += solver.stencil().dep(i) * (*cert)[i];
+        total += (*cert)[i];
+    }
+    EXPECT_EQ(sum, w);
+    EXPECT_EQ(total, 4); // five-point generators all advance time by 1
+}
+
+TEST(ConeSolver, CertificateAbsentForNonMembers)
+{
+    ConeSolver solver(stencils::simpleExample());
+    EXPECT_FALSE(solver.certificate(IVec{-1, 0}).has_value());
+}
+
+TEST(ConeSolver, MemoizationSharesWork)
+{
+    ConeSolver solver(stencils::simpleExample());
+    EXPECT_TRUE(solver.contains(IVec{10, 10}));
+    uint64_t nodes_first = solver.nodesExpanded();
+    EXPECT_GT(nodes_first, 0u);
+    // Second identical query costs no new expansions.
+    EXPECT_TRUE(solver.contains(IVec{10, 10}));
+    EXPECT_EQ(solver.nodesExpanded(), nodes_first);
+    EXPECT_GT(solver.memoSize(), 0u);
+}
+
+TEST(ConeSolver, DimensionMismatchThrows)
+{
+    ConeSolver solver(stencils::simpleExample());
+    EXPECT_THROW(solver.contains(IVec{1, 2, 3}), UovUserError);
+}
+
+TEST(ConeSolver, BudgetGuardTrips)
+{
+    ConeSolver solver(stencils::simpleExample(), /*max_nodes=*/5);
+    EXPECT_THROW(solver.contains(IVec{50, 50}), UovUserError);
+}
+
+TEST(ConeSolver, ThreeDimensionalStencil)
+{
+    ConeSolver solver(stencils::heat3D());
+    EXPECT_TRUE(solver.contains(IVec{2, 1, 1}));  // (1,1,0)+(1,0,1)
+    EXPECT_TRUE(solver.contains(IVec{2, 0, 0}));  // (1,1,0)+(1,-1,0)
+    EXPECT_FALSE(solver.contains(IVec{1, 1, 1}));
+    EXPECT_FALSE(solver.contains(IVec{0, 1, 0}));
+}
+
+TEST(ConeSolver, HugeCoordinatesUseComponentwiseTermination)
+{
+    // positiveFunctional overflows here, but every generator has a
+    // strictly positive second coordinate, so search still terminates.
+    int64_t big = int64_t{1} << 40;
+    Stencil s({IVec{1, big}, IVec{0, big}});
+    ConeSolver solver(s);
+    EXPECT_TRUE(solver.contains(IVec{1, 2 * big}));
+    EXPECT_FALSE(solver.contains(IVec{1, 2 * big + 1}));
+}
+
+} // namespace
+} // namespace uov

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the NP-completeness reduction (Section 3.1 theorem):
+ * PARTITION instances map to UOV-membership queries, and the answers
+ * agree in both directions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/reduction.h"
+#include "core/uov.h"
+#include "support/rng.h"
+
+namespace uov {
+namespace {
+
+TEST(Reduction, InstanceValidation)
+{
+    EXPECT_TRUE((PartitionInstance{{1, 1}}).valid());
+    EXPECT_TRUE((PartitionInstance{{3, 1, 2}}).valid());
+    EXPECT_FALSE((PartitionInstance{{}}).valid());
+    EXPECT_FALSE((PartitionInstance{{1, 2}}).valid()); // odd total
+    EXPECT_FALSE((PartitionInstance{{0, 2, 2}}).valid());
+    EXPECT_FALSE((PartitionInstance{{-1, 1, 2}}).valid());
+}
+
+TEST(Reduction, BruteForceOracle)
+{
+    auto sol = solvePartitionBruteForce(PartitionInstance{{1, 2, 3}});
+    ASSERT_TRUE(sol.has_value());
+    // Either {3} or {1,2}.
+    int64_t sum = 0;
+    std::vector<int64_t> vals{1, 2, 3};
+    for (size_t i = 0; i < 3; ++i)
+        if (*sol & (1ull << i))
+            sum += vals[i];
+    EXPECT_EQ(sum, 3);
+
+    EXPECT_FALSE(
+        solvePartitionBruteForce(PartitionInstance{{1, 1, 4}}).has_value());
+}
+
+TEST(Reduction, ConstructionShape)
+{
+    PartitionInstance inst{{2, 3, 5}};
+    UovMembershipInstance red = buildReduction(inst);
+    // 2n vectors (r_i and s_i all distinct here).
+    EXPECT_EQ(red.stencil.size(), 6u);
+    EXPECT_EQ(red.stencil.dim(), 2u);
+    EXPECT_EQ(red.query[0], 5); // h = 10/2
+    // Second coordinate: n*(n+1)^n + ((n+1)^n - 1)/n with n=3:
+    // 3*64 + 21 = 213.
+    EXPECT_EQ(red.query[1], 213);
+}
+
+TEST(Reduction, SolvableInstanceIsUov)
+{
+    // {2,3,5}: 2+3 = 5 -> solvable.
+    UovMembershipInstance red = buildReduction(PartitionInstance{{2, 3, 5}});
+    UovOracle oracle(red.stencil);
+    EXPECT_TRUE(oracle.isUov(red.query));
+}
+
+TEST(Reduction, UnsolvableInstanceIsNotUov)
+{
+    // {1,1,4}: total 6, target 3, but subsets reach {0,1,2,4,5,6}.
+    UovMembershipInstance red = buildReduction(PartitionInstance{{1, 1, 4}});
+    UovOracle oracle(red.stencil);
+    EXPECT_FALSE(oracle.isUov(red.query));
+}
+
+TEST(Reduction, EquivalenceOnRandomInstances)
+{
+    SplitMix64 rng(20260704);
+    int checked = 0;
+    while (checked < 30) {
+        size_t n = 2 + rng.nextBelow(4); // 2..5 values
+        PartitionInstance inst;
+        for (size_t i = 0; i < n; ++i)
+            inst.values.push_back(1 + rng.nextInRange(0, 9));
+        // Force an even total by adjusting the last element.
+        int64_t total = 0;
+        for (int64_t v : inst.values)
+            total += v;
+        if (total % 2 != 0)
+            inst.values.back() += 1;
+        if (!inst.valid())
+            continue;
+
+        bool partition_yes =
+            solvePartitionBruteForce(inst).has_value();
+        UovMembershipInstance red = buildReduction(inst);
+        UovOracle oracle(red.stencil);
+        EXPECT_EQ(oracle.isUov(red.query), partition_yes)
+            << "values[0]=" << inst.values[0] << " n=" << n;
+        ++checked;
+    }
+}
+
+TEST(Reduction, GuardsRejectOversizedInstances)
+{
+    PartitionInstance big;
+    for (int i = 0; i < 13; ++i)
+        big.values.push_back(2);
+    ASSERT_TRUE(big.valid());
+    EXPECT_THROW(buildReduction(big), UovUserError);
+}
+
+} // namespace
+} // namespace uov

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for Stencil construction, validation and helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/stencil.h"
+#include "support/error.h"
+
+namespace uov {
+namespace {
+
+TEST(Stencil, ValidConstructionSortsAndDedupes)
+{
+    Stencil s({IVec{1, 1}, IVec{1, 0}, IVec{1, 1}, IVec{0, 1}});
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.dim(), 2u);
+    EXPECT_TRUE(s.contains(IVec{1, 1}));
+    EXPECT_FALSE(s.contains(IVec{2, 2}));
+}
+
+TEST(Stencil, RejectsBadInput)
+{
+    EXPECT_THROW(Stencil({}), UovUserError);
+    EXPECT_THROW(Stencil({IVec{0, 0}}), UovUserError);
+    EXPECT_THROW(Stencil({IVec{-1, 2}}), UovUserError);
+    EXPECT_THROW(Stencil({IVec{1, 0}, IVec{1, 0, 0}}), UovUserError);
+}
+
+TEST(Stencil, RejectsMoreThan32Dependences)
+{
+    std::vector<IVec> deps;
+    for (int64_t i = 1; i <= 33; ++i)
+        deps.push_back(IVec{1, i});
+    EXPECT_THROW(Stencil(std::move(deps)), UovUserError);
+}
+
+TEST(Stencil, InitialUovIsSum)
+{
+    EXPECT_EQ(stencils::simpleExample().initialUov(), (IVec{2, 2}));
+    EXPECT_EQ(stencils::fivePoint().initialUov(), (IVec{5, 0}));
+    EXPECT_EQ(stencils::proteinMatching().initialUov(), (IVec{2, 2}));
+}
+
+TEST(Stencil, PositiveFunctionalDominates)
+{
+    for (const Stencil &s :
+         {stencils::simpleExample(), stencils::threeVector(),
+          stencils::fivePoint(), stencils::heat3D()}) {
+        auto h = s.positiveFunctional();
+        ASSERT_TRUE(h.has_value()) << s.str();
+        for (const auto &v : s.deps())
+            EXPECT_GT(h->dot(v), 0) << s.str() << " v=" << v.str();
+    }
+}
+
+TEST(Stencil, PositiveFunctionalOverflowReturnsNullopt)
+{
+    // Huge coordinates push M^{d-1} past int64.
+    Stencil s({IVec{1, int64_t{1} << 40, 3},
+               IVec{1, -(int64_t{1} << 40), 5}});
+    EXPECT_FALSE(s.positiveFunctional().has_value());
+}
+
+TEST(Stencil, CoordinateSignClassification)
+{
+    Stencil five = stencils::fivePoint();
+    EXPECT_TRUE(five.allNonNegativeInCoord(0));
+    EXPECT_FALSE(five.allNonNegativeInCoord(1));
+    EXPECT_FALSE(five.allNonPositiveInCoord(1));
+
+    Stencil simple = stencils::simpleExample();
+    EXPECT_TRUE(simple.allNonNegativeInCoord(0));
+    EXPECT_TRUE(simple.allNonNegativeInCoord(1));
+}
+
+TEST(Stencil, MaxAbsCoord)
+{
+    EXPECT_EQ(stencils::fivePoint().maxAbsCoord(), 2);
+    EXPECT_EQ(stencils::simpleExample().maxAbsCoord(), 1);
+}
+
+TEST(Stencil, ExtremeVectors2D)
+{
+    auto [lo, hi] = stencils::fivePoint().extremeVectors2D();
+    // Clockwise-most is (1,-2); counter-clockwise-most is (1,2).
+    EXPECT_EQ(lo, (IVec{1, -2}));
+    EXPECT_EQ(hi, (IVec{1, 2}));
+
+    auto [lo2, hi2] = stencils::simpleExample().extremeVectors2D();
+    EXPECT_EQ(lo2, (IVec{1, 0}));
+    EXPECT_EQ(hi2, (IVec{0, 1}));
+
+    EXPECT_THROW(stencils::heat3D().extremeVectors2D(), UovUserError);
+}
+
+TEST(Stencil, NamedStencilsMatchPaper)
+{
+    EXPECT_EQ(stencils::simpleExample().size(), 3u);
+    EXPECT_EQ(stencils::fivePoint().size(), 5u);
+    EXPECT_EQ(stencils::proteinMatching().size(), 3u);
+    EXPECT_EQ(stencils::heat3D().dim(), 3u);
+    // PSM and the simple example share the same stencil shape.
+    EXPECT_EQ(stencils::proteinMatching(), stencils::simpleExample());
+}
+
+} // namespace
+} // namespace uov

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for UOV membership, certificates, and DONE/DEAD sets --
+ * including the paper's worked examples (Figures 1, 2, 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/done_dead.h"
+#include "core/uov.h"
+
+namespace uov {
+namespace {
+
+TEST(UovOracle, Figure1SimpleExample)
+{
+    // Paper Figure 1(b): (1,1) is a UOV for {(1,0),(0,1),(1,1)}.
+    UovOracle oracle(stencils::simpleExample());
+    EXPECT_TRUE(oracle.isUov(IVec{1, 1}));
+    // Shorter vectors are not.
+    EXPECT_FALSE(oracle.isUov(IVec{1, 0}));
+    EXPECT_FALSE(oracle.isUov(IVec{0, 1}));
+    EXPECT_FALSE(oracle.isUov(IVec{0, 0}));
+}
+
+TEST(UovOracle, Figure5FivePointStencil)
+{
+    // Paper Figure 5: (2,0) is the UOV for the 5-point stencil.
+    UovOracle oracle(stencils::fivePoint());
+    EXPECT_TRUE(oracle.isUov(IVec{2, 0}));
+    // Nothing with time distance 1 can cover all five dependences.
+    for (int64_t j = -4; j <= 4; ++j)
+        EXPECT_FALSE(oracle.isUov(IVec{1, j})) << j;
+    // Other time-2 vectors: (2,1) needs (2,1)-(1,-2)=(1,3) in cone: no.
+    EXPECT_FALSE(oracle.isUov(IVec{2, 5}));
+    EXPECT_TRUE(oracle.isUov(IVec{2, 1}) ==
+                false); // (1,3) unreachable in one step
+}
+
+TEST(UovOracle, InitialUovAlwaysLegal)
+{
+    for (const Stencil &s :
+         {stencils::simpleExample(), stencils::threeVector(),
+          stencils::fivePoint(), stencils::proteinMatching(),
+          stencils::heat3D()}) {
+        UovOracle oracle(s);
+        EXPECT_TRUE(oracle.isUov(oracle.initialUov())) << s.str();
+    }
+}
+
+TEST(UovOracle, UovSetClosedUnderAddingGenerators)
+{
+    // If w is a UOV then w + v is too (the extra v extends each row).
+    UovOracle oracle(stencils::simpleExample());
+    IVec w{1, 1};
+    ASSERT_TRUE(oracle.isUov(w));
+    for (const auto &v : oracle.stencil().deps())
+        EXPECT_TRUE(oracle.isUov(w + v)) << v.str();
+}
+
+TEST(UovOracle, CertificateRowsValidated)
+{
+    UovOracle oracle(stencils::fivePoint());
+    auto cert = oracle.certify(IVec{2, 0});
+    ASSERT_TRUE(cert.has_value());
+    ASSERT_EQ(cert->rows.size(), 5u);
+    const auto &deps = oracle.stencil().deps();
+    for (size_t i = 0; i < cert->rows.size(); ++i) {
+        EXPECT_GE(cert->rows[i][i], 1) << i;
+        IVec sum(2);
+        for (size_t j = 0; j < deps.size(); ++j) {
+            EXPECT_GE(cert->rows[i][j], 0);
+            sum += deps[j] * cert->rows[i][j];
+        }
+        EXPECT_EQ(sum, (IVec{2, 0}));
+    }
+}
+
+TEST(UovOracle, CertifyRejectsNonUov)
+{
+    UovOracle oracle(stencils::simpleExample());
+    EXPECT_FALSE(oracle.certify(IVec{1, 0}).has_value());
+}
+
+TEST(UovOracle, Heat3DUov)
+{
+    UovOracle oracle(stencils::heat3D());
+    // (2,0,0): subtracting any generator leaves (1,+-1,0)/(1,0,+-1)/
+    // (1,0,0), all generators. UOV.
+    EXPECT_TRUE(oracle.isUov(IVec{2, 0, 0}));
+    EXPECT_FALSE(oracle.isUov(IVec{1, 0, 0}));
+    EXPECT_TRUE(oracle.isUov(oracle.initialUov()));
+}
+
+TEST(DoneDead, DoneContainsTransitiveProducers)
+{
+    DoneDeadAnalysis dd(stencils::simpleExample());
+    IVec q{5, 5};
+    EXPECT_TRUE(dd.isDone(q, IVec{4, 5}));  // one step (1,0)
+    EXPECT_TRUE(dd.isDone(q, IVec{4, 4}));  // one step (1,1)
+    EXPECT_TRUE(dd.isDone(q, IVec{2, 3}));  // multi-step
+    EXPECT_TRUE(dd.isDone(q, q));           // all-zero coefficients
+    EXPECT_FALSE(dd.isDone(q, IVec{6, 5})); // future point
+    EXPECT_FALSE(dd.isDone(q, IVec{4, 6})); // incomparable
+}
+
+TEST(DoneDead, DeadSubsetOfDone)
+{
+    DoneDeadAnalysis dd(stencils::simpleExample());
+    IVec q{5, 5};
+    IVec lo{1, 1}, hi{5, 5};
+    auto done = dd.enumerateDone(q, lo, hi);
+    auto dead = dd.enumerateDead(q, lo, hi);
+    EXPECT_FALSE(done.empty());
+    EXPECT_FALSE(dead.empty());
+    EXPECT_LT(dead.size(), done.size());
+    for (const auto &p : dead) {
+        EXPECT_TRUE(std::find(done.begin(), done.end(), p) != done.end())
+            << p.str();
+    }
+}
+
+TEST(DoneDead, DeadOffsetsAreExactlyUovs)
+{
+    // UOV(V) = { q - p : p in DEAD(V, q) } (Section 3.1).
+    DoneDeadAnalysis dd(stencils::simpleExample());
+    UovOracle oracle(stencils::simpleExample());
+    IVec q{6, 6};
+    IVec lo{2, 2}, hi{6, 6};
+    for (int64_t x = lo[0]; x <= hi[0]; ++x) {
+        for (int64_t y = lo[1]; y <= hi[1]; ++y) {
+            IVec p{x, y};
+            EXPECT_EQ(dd.isDead(q, p), oracle.isUov(q - p))
+                << "p=" << p.str();
+        }
+    }
+}
+
+TEST(DoneDead, ShiftInvariance)
+{
+    // The stencil is uniform, so DONE/DEAD only depend on q - p.
+    DoneDeadAnalysis dd(stencils::fivePoint());
+    IVec q1{10, 10}, q2{3, -7};
+    for (int64_t dt = 0; dt <= 3; ++dt) {
+        for (int64_t dj = -4; dj <= 4; ++dj) {
+            IVec off{dt, dj};
+            EXPECT_EQ(dd.isDone(q1, q1 - off), dd.isDone(q2, q2 - off))
+                << off.str();
+            EXPECT_EQ(dd.isDead(q1, q1 - off), dd.isDead(q2, q2 - off))
+                << off.str();
+        }
+    }
+}
+
+TEST(DoneDead, FivePointDeadRequiresAllConsumersDone)
+{
+    DoneDeadAnalysis dd(stencils::fivePoint());
+    IVec q{4, 0};
+    // (2,0) behind q: p = (2,0), all p+v within DONE? p+v = (3,j) for
+    // j in {-2..2}; q - (3,j) = (1,-j), all generators. Dead.
+    EXPECT_TRUE(dd.isDead(q, IVec{2, 0}));
+    // p = (3,0): p+(1,2) = (4,2) which is not done before q=(4,0).
+    EXPECT_FALSE(dd.isDead(q, IVec{3, 0}));
+}
+
+} // namespace
+} // namespace uov

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for Polyhedron: vertex enumeration, containment,
+ * projections, bounding boxes, integer-point scans.  Includes the
+ * paper's Figure 3 parallelogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geometry/polyhedron.h"
+#include "support/error.h"
+
+namespace uov {
+namespace {
+
+bool
+hasVertex(const Polyhedron &p, std::initializer_list<int64_t> coords)
+{
+    RationalVec want;
+    for (int64_t c : coords)
+        want.push_back(Rational(c));
+    const auto &vs = p.vertices();
+    return std::find(vs.begin(), vs.end(), want) != vs.end();
+}
+
+TEST(Polyhedron, BoxVerticesAndContainment)
+{
+    Polyhedron box = Polyhedron::box(IVec{0, 0}, IVec{3, 2});
+    EXPECT_EQ(box.vertices().size(), 4u);
+    EXPECT_TRUE(hasVertex(box, {0, 0}));
+    EXPECT_TRUE(hasVertex(box, {3, 2}));
+    EXPECT_TRUE(hasVertex(box, {0, 2}));
+    EXPECT_TRUE(hasVertex(box, {3, 0}));
+
+    EXPECT_TRUE(box.contains(IVec{1, 1}));
+    EXPECT_TRUE(box.contains(IVec{3, 2}));
+    EXPECT_FALSE(box.contains(IVec{4, 0}));
+    EXPECT_FALSE(box.contains(IVec{-1, 0}));
+}
+
+TEST(Polyhedron, EmptyBoxRejected)
+{
+    EXPECT_THROW(Polyhedron::box(IVec{2, 0}, IVec{1, 5}), UovUserError);
+}
+
+TEST(Polyhedron, BoxIn3D)
+{
+    Polyhedron box = Polyhedron::box(IVec{0, 0, 0}, IVec{1, 2, 3});
+    EXPECT_EQ(box.vertices().size(), 8u);
+    EXPECT_EQ(box.countIntegerPoints(), 2 * 3 * 4);
+    EXPECT_EQ(box.minProjectionCount(), 2); // shortest side
+}
+
+TEST(Polyhedron, FromVertices2DBuildsHull)
+{
+    // A triangle plus an interior point that must be dropped.
+    Polyhedron tri = Polyhedron::fromVertices2D(
+        {IVec{0, 0}, IVec{4, 0}, IVec{0, 4}, IVec{1, 1}});
+    EXPECT_EQ(tri.vertices().size(), 3u);
+    EXPECT_TRUE(tri.contains(IVec{1, 1}));
+    EXPECT_TRUE(tri.contains(IVec{0, 4}));
+    EXPECT_FALSE(tri.contains(IVec{3, 3}));
+    // Integer points of x,y >= 0, x+y <= 4: 15.
+    EXPECT_EQ(tri.countIntegerPoints(), 15);
+}
+
+TEST(Polyhedron, DegenerateHullRejected)
+{
+    EXPECT_THROW(
+        Polyhedron::fromVertices2D({IVec{0, 0}, IVec{1, 1}, IVec{2, 2}}),
+        UovUserError);
+}
+
+TEST(Polyhedron, ProjectionCounts)
+{
+    Polyhedron box = Polyhedron::box(IVec{0, 0}, IVec{9, 4});
+    EXPECT_EQ(box.projectionCount(IVec{1, 0}), 10);
+    EXPECT_EQ(box.projectionCount(IVec{0, 1}), 5);
+    // Along (1,1): values 0..13.
+    EXPECT_EQ(box.projectionCount(IVec{1, 1}), 14);
+    // Figure 6: rectangle (0,0)-(n,m), mv=(-1,1): n+m+1 values.
+    int64_t n = 9, m = 4;
+    EXPECT_EQ(box.projectionCount(IVec{-1, 1}), n + m + 1);
+}
+
+TEST(Polyhedron, Figure3Parallelogram)
+{
+    // The ISG of Figure 3: corners (1,1), (1,6), (10,4), (10,9).
+    Polyhedron isg = Polyhedron::fromVertices2D(
+        {IVec{1, 1}, IVec{1, 6}, IVec{10, 4}, IVec{10, 9}});
+    EXPECT_EQ(isg.vertices().size(), 4u);
+
+    // ov1 = (3,1): mv = (-1,3); values at corners: 2, 17, 2, 17.
+    EXPECT_EQ(isg.projectionCount(IVec{-1, 3}), 16);
+    // ov2 = (3,0): primitive mv = (0,1); values 1..9.
+    EXPECT_EQ(isg.projectionCount(IVec{0, 1}), 9);
+}
+
+TEST(Polyhedron, MinProjection2DIsEdgeNormalMinimum)
+{
+    Polyhedron box = Polyhedron::box(IVec{0, 0}, IVec{9, 4});
+    EXPECT_EQ(box.minProjectionCount(), 5);
+}
+
+TEST(Polyhedron, BoundingBox)
+{
+    Polyhedron tri = Polyhedron::fromVertices2D(
+        {IVec{1, 2}, IVec{5, 3}, IVec{2, 7}});
+    IVec lo, hi;
+    tri.boundingBox(lo, hi);
+    EXPECT_EQ(lo, (IVec{1, 2}));
+    EXPECT_EQ(hi, (IVec{5, 7}));
+}
+
+TEST(Polyhedron, IntegerPointsMatchManualCount)
+{
+    Polyhedron box = Polyhedron::box(IVec{-1, -1}, IVec{1, 1});
+    auto pts = box.integerPoints();
+    EXPECT_EQ(pts.size(), 9u);
+}
+
+TEST(Polyhedron, ScanLimitEnforced)
+{
+    Polyhedron big = Polyhedron::box(IVec{0, 0}, IVec{100000, 100000});
+    EXPECT_THROW(big.integerPoints(1000), UovUserError);
+}
+
+TEST(Polyhedron, UnboundedRejected)
+{
+    // Single half-plane: unbounded, no vertices.
+    IMatrix a({{1, 0}});
+    EXPECT_THROW(
+        Polyhedron::fromConstraints(a, IVec{5}).vertices(),
+        UovUserError);
+}
+
+TEST(Polyhedron, MaxMinDotRational)
+{
+    // Triangle with a rational chebyshev-ish vertex: constraints
+    // x >= 0, y >= 0, 2x + 3y <= 7 has vertex (0, 7/3).
+    IMatrix a({{-1, 0}, {0, -1}, {2, 3}});
+    Polyhedron p = Polyhedron::fromConstraints(a, IVec{0, 0, 7});
+    EXPECT_EQ(p.maxDot(IVec{0, 1}), Rational(7, 3));
+    EXPECT_EQ(p.minDot(IVec{0, 1}), Rational(0));
+    EXPECT_EQ(p.projectionCount(IVec{0, 1}), 3); // y in {0, 1, 2}
+}
+
+} // namespace
+} // namespace uov

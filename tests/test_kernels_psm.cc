@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for protein string matching variants and the Figure 1 simple
+ * example: identical scores across storage versions, Table 2 storage
+ * formulas, and DP sanity properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/uov.h"
+#include "kernels/psm.h"
+#include "kernels/simple.h"
+
+namespace uov {
+namespace {
+
+int32_t
+runNative(PsmVariant v, const PsmConfig &cfg)
+{
+    VirtualArena arena;
+    NativeMem mem;
+    return runPsm(v, cfg, mem, arena);
+}
+
+TEST(PsmKernel, AllVariantsAgree)
+{
+    PsmConfig cfg;
+    cfg.n0 = 93;
+    cfg.n1 = 121;
+    cfg.tile_i = 17;
+    cfg.tile_j = 31;
+    int32_t reference = runNative(PsmVariant::Natural, cfg);
+    for (PsmVariant v : allPsmVariants())
+        EXPECT_EQ(runNative(v, cfg), reference) << psmVariantName(v);
+}
+
+class PsmSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>>
+{
+};
+
+TEST_P(PsmSweep, VariantsAgreeAcrossShapes)
+{
+    auto [n0, n1] = GetParam();
+    PsmConfig cfg;
+    cfg.n0 = n0;
+    cfg.n1 = n1;
+    cfg.tile_i = 8;
+    cfg.tile_j = 13;
+    int32_t reference = runNative(PsmVariant::Natural, cfg);
+    for (PsmVariant v : allPsmVariants()) {
+        EXPECT_EQ(runNative(v, cfg), reference)
+            << psmVariantName(v) << " n0=" << n0 << " n1=" << n1;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PsmSweep,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(1, 9),
+                      std::make_tuple(9, 1), std::make_tuple(16, 16),
+                      std::make_tuple(33, 65), std::make_tuple(100, 7)));
+
+TEST(PsmKernel, Table2StorageFormulas)
+{
+    int64_t n0 = 500, n1 = 700;
+    EXPECT_EQ(psmTemporaryStorage(PsmVariant::Natural, n0, n1),
+              n0 * n1 + n0 + n1);
+    EXPECT_EQ(psmTemporaryStorage(PsmVariant::Ov, n0, n1),
+              2 * n0 + 2 * n1 + 1);
+    EXPECT_EQ(psmTemporaryStorage(PsmVariant::StorageOptimized, n0, n1),
+              2 * n0 + 3);
+}
+
+TEST(PsmKernel, UovIsTheAntiDiagonal)
+{
+    EXPECT_TRUE(UovOracle(stencils::proteinMatching()).isUov(IVec{1, 1}));
+}
+
+TEST(PsmKernel, WeightTableSymmetricWithPositiveDiagonal)
+{
+    const auto &w = psmWeightTable();
+    ASSERT_EQ(w.size(),
+              static_cast<size_t>(kPsmAlphabet * kPsmAlphabet));
+    for (int r = 0; r < kPsmAlphabet; ++r) {
+        EXPECT_GE(w[r * kPsmAlphabet + r], 4);
+        for (int c = 0; c < kPsmAlphabet; ++c)
+            EXPECT_EQ(w[r * kPsmAlphabet + c], w[c * kPsmAlphabet + r]);
+    }
+}
+
+TEST(PsmKernel, StringsDeterministicAndInAlphabet)
+{
+    auto s1 = psmString(64, 11);
+    auto s2 = psmString(64, 11);
+    EXPECT_EQ(s1, s2);
+    for (uint8_t c : s1)
+        EXPECT_LT(c, kPsmAlphabet);
+    EXPECT_NE(psmString(64, 12), s1);
+}
+
+TEST(PsmKernel, IdenticalStringsScoreAtLeastMismatched)
+{
+    // Aligning a string against itself scores >= aligning against an
+    // unrelated string (the diagonal weights dominate).
+    PsmConfig cfg;
+    cfg.n0 = cfg.n1 = 40;
+    VirtualArena arena;
+    NativeMem mem;
+    int32_t mismatched = runPsm(PsmVariant::Natural, cfg, mem, arena);
+
+    // Self-alignment via a tiny bespoke DP using the kernel pieces.
+    auto s = psmString(40, 11);
+    const auto &w = psmWeightTable();
+    int32_t diag_sum = 0;
+    for (uint8_t c : s)
+        diag_sum += w[c * kPsmAlphabet + c];
+    EXPECT_GE(diag_sum, mismatched);
+}
+
+TEST(PsmKernel, SimulatedRunMatchesNative)
+{
+    PsmConfig cfg;
+    cfg.n0 = 48;
+    cfg.n1 = 56;
+    int32_t native = runNative(PsmVariant::OvTiled, cfg);
+    VirtualArena arena;
+    MemorySystem ms(MachineConfig::ultra2());
+    SimMem sim{&ms};
+    EXPECT_EQ(runPsm(PsmVariant::OvTiled, cfg, sim, arena), native);
+    EXPECT_GT(ms.branches(), 0u); // the max() comparisons are counted
+}
+
+TEST(PsmKernel, BranchesPerIterationIsThree)
+{
+    PsmConfig cfg;
+    cfg.n0 = 32;
+    cfg.n1 = 32;
+    VirtualArena arena;
+    MemorySystem ms(MachineConfig::ultra2());
+    SimMem sim{&ms};
+    runPsm(PsmVariant::Natural, cfg, sim, arena);
+    EXPECT_EQ(ms.branches(),
+              static_cast<uint64_t>(3 * cfg.n0 * cfg.n1));
+}
+
+TEST(SimpleKernel, Figure1VariantsAgree)
+{
+    for (int64_t n : {1, 3, 8, 20}) {
+        for (int64_t m : {1, 4, 9, 15}) {
+            VirtualArena arena;
+            NativeMem mem;
+            int64_t a = runSimple(SimpleVariant::Natural, n, m, mem,
+                                  arena);
+            int64_t b = runSimple(SimpleVariant::OvMapped, n, m, mem,
+                                  arena);
+            int64_t c = runSimple(SimpleVariant::StorageOptimized, n, m,
+                                  mem, arena);
+            EXPECT_EQ(a, b) << n << "x" << m;
+            EXPECT_EQ(a, c) << n << "x" << m;
+        }
+    }
+}
+
+TEST(SimpleKernel, Figure1StorageCaptions)
+{
+    int64_t n = 30, m = 20;
+    EXPECT_EQ(simpleStorage(SimpleVariant::Natural, n, m), n * m);
+    EXPECT_EQ(simpleStorage(SimpleVariant::OvMapped, n, m), n + m + 1);
+    EXPECT_EQ(simpleStorage(SimpleVariant::StorageOptimized, n, m),
+              m + 2);
+}
+
+TEST(SimpleKernel, VariantNames)
+{
+    EXPECT_STREQ(simpleVariantName(SimpleVariant::OvMapped),
+                 "OV-Mapped");
+}
+
+} // namespace
+} // namespace uov

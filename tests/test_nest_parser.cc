@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the nest text format: valid inputs, precise error
+ * reporting, round-trips, and end-to-end through the pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.h"
+#include "driver/nest_parser.h"
+#include "support/error.h"
+
+namespace uov {
+namespace {
+
+const char *kFivePoint =
+    "# 5-point stencil\n"
+    "nest stencil5\n"
+    "bounds 1..18 0..99\n"
+    "statement B\n"
+    "  write B[0,0]\n"
+    "  read  B[-1,-2]\n"
+    "  read  B[-1,-1]\n"
+    "  read  B[-1,0]\n"
+    "  read  B[-1,1]\n"
+    "  read  B[-1,2]\n";
+
+TEST(NestParser, ParsesFivePoint)
+{
+    LoopNest nest = parseNestString(kFivePoint);
+    EXPECT_EQ(nest.name(), "stencil5");
+    EXPECT_EQ(nest.depth(), 2u);
+    EXPECT_EQ(nest.lo(), (IVec{1, 0}));
+    EXPECT_EQ(nest.hi(), (IVec{18, 99}));
+    ASSERT_EQ(nest.statements().size(), 1u);
+    EXPECT_EQ(nest.statement(0).reads.size(), 5u);
+    EXPECT_EQ(nest.statement(0).write.array, "B");
+    EXPECT_EQ(nest.statement(0).reads[0].offset, (IVec{-1, -2}));
+}
+
+TEST(NestParser, ParsedNestRunsThroughPipeline)
+{
+    LoopNest nest = parseNestString(kFivePoint);
+    MappingPlan plan = planStorageMapping(nest, 0);
+    EXPECT_EQ(plan.search.best_uov, (IVec{2, 0}));
+    EXPECT_EQ(plan.mapping.cellCount(), 200);
+}
+
+TEST(NestParser, MultiStatementBlocks)
+{
+    LoopNest nest = parseNestString(
+        "nest two\n"
+        "bounds 1..4 1..4\n"
+        "statement E\n"
+        "  write E[0,0]\n"
+        "  read E[0,-1]\n"
+        "statement D\n"
+        "  write D[0,0]\n"
+        "  read D[-1,0]\n"
+        "  read E[0,0]\n");
+    ASSERT_EQ(nest.statements().size(), 2u);
+    EXPECT_EQ(nest.statement(1).reads[1].array, "E");
+}
+
+TEST(NestParser, CommentsAndWhitespaceTolerated)
+{
+    LoopNest nest = parseNestString(
+        "\n  # leading comment\n"
+        "nest  n   # trailing comment\n"
+        "\t bounds 0..3 0..3\n"
+        "statement s\n"
+        "  write A[0,0]   # the write\n"
+        "  read A[-1,-1]\n\n");
+    EXPECT_EQ(nest.tripCount(), 16);
+}
+
+TEST(NestParser, ThreeDimensional)
+{
+    LoopNest nest = parseNestString(
+        "nest heat\n"
+        "bounds 1..8 0..15 0..15\n"
+        "statement H\n"
+        "  write H[0,0,0]\n"
+        "  read H[-1,0,0]\n"
+        "  read H[-1,1,0]\n"
+        "  read H[-1,-1,0]\n"
+        "  read H[-1,0,1]\n"
+        "  read H[-1,0,-1]\n");
+    EXPECT_EQ(nest.depth(), 3u);
+    MappingPlan plan = planStorageMapping(nest, 0);
+    EXPECT_EQ(plan.search.best_uov, (IVec{2, 0, 0}));
+}
+
+TEST(NestParser, ErrorsCarryLineNumbers)
+{
+    auto expect_error = [](const std::string &text,
+                           const std::string &needle) {
+        try {
+            parseNestString(text);
+            FAIL() << "expected parse failure for: " << text;
+        } catch (const UovUserError &e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << e.what();
+        }
+    };
+    expect_error("nest n\nbounds 0..3\nstatement s\n  write A(0)\n",
+                 "line 4");
+    expect_error("nest n\nbounds 0-3\n", "bad range");
+    expect_error("nest n\nbounds 0..3\nfrobnicate\n",
+                 "unknown keyword");
+    expect_error("nest n\nbounds 0..3\n  read A[0]\n",
+                 "outside a statement");
+    expect_error("nest n\nbounds 0..3\nstatement s\n  write A[x]\n",
+                 "bad offset");
+}
+
+TEST(NestParser, StructuralErrors)
+{
+    EXPECT_THROW(parseNestString(""), UovUserError);
+    EXPECT_THROW(parseNestString("nest n\n"), UovUserError);
+    EXPECT_THROW(parseNestString("nest n\nbounds 0..3\n"),
+                 UovUserError);
+    // Statement without a write.
+    EXPECT_THROW(parseNestString("nest n\nbounds 0..3\nstatement s\n"
+                                 "  read A[0]\n"),
+                 UovUserError);
+    // Rank mismatch between bounds and accesses.
+    EXPECT_THROW(parseNestString("nest n\nbounds 0..3 0..3\n"
+                                 "statement s\n  write A[0]\n"),
+                 UovUserError);
+    // Two writes in one statement.
+    EXPECT_THROW(parseNestString("nest n\nbounds 0..3\nstatement s\n"
+                                 "  write A[0]\n  write B[0]\n"),
+                 UovUserError);
+}
+
+TEST(NestParser, RoundTrip)
+{
+    LoopNest original = parseNestString(kFivePoint);
+    std::string text = formatNest(original);
+    LoopNest reparsed = parseNestString(text);
+    EXPECT_EQ(reparsed.name(), original.name());
+    EXPECT_EQ(reparsed.lo(), original.lo());
+    EXPECT_EQ(reparsed.hi(), original.hi());
+    ASSERT_EQ(reparsed.statements().size(),
+              original.statements().size());
+    for (size_t i = 0; i < original.statements().size(); ++i) {
+        EXPECT_EQ(reparsed.statement(i).write.offset,
+                  original.statement(i).write.offset);
+        EXPECT_EQ(reparsed.statement(i).reads.size(),
+                  original.statement(i).reads.size());
+    }
+}
+
+} // namespace
+} // namespace uov

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Integration test pinning every number the paper prints, end to end
+ * through the library (the bench binaries display these; this test
+ * makes them regression-checked):
+ *
+ *   Figure 1: nm / n+m+1 / m+2 storage, UOV (1,1), SM=(-1,1).q+n
+ *   Figure 3: ov(3,1) -> 16 cells, ov(3,0) -> 27 cells
+ *   Figure 5: UOV (2,0), SM interleaved (0,2).q + (q_t mod 2)
+ *   Figure 6: |mv.xp1 - mv.xp2| + 1 = n+m+1
+ *   Table 1:  TL / 2L / L+3
+ *   Table 2:  n0n1+n0+n1 / 2n0+2n1+1 / 2n0+3
+ *   Theorem:  PARTITION <-> UOV membership
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.h"
+#include "core/reduction.h"
+#include "core/search.h"
+#include "core/storage_count.h"
+#include "core/uov.h"
+#include "kernels/psm.h"
+#include "kernels/simple.h"
+#include "kernels/stencil5.h"
+#include "mapping/storage_mapping.h"
+
+namespace uov {
+namespace {
+
+TEST(PaperNumbers, Figure1)
+{
+    int64_t n = 512, m = 384;
+    EXPECT_EQ(simpleStorage(SimpleVariant::Natural, n, m), n * m);
+    EXPECT_EQ(simpleStorage(SimpleVariant::OvMapped, n, m), n + m + 1);
+    EXPECT_EQ(simpleStorage(SimpleVariant::StorageOptimized, n, m),
+              m + 2);
+
+    // UOV and mapping, derived not hard-coded.
+    MappingPlan plan = planStorageMapping(nests::simpleExample(n, m), 0);
+    EXPECT_EQ(plan.search.best_uov, (IVec{1, 1}));
+
+    // Over the boundary-inclusive ISG the mapping is the paper's
+    // A[n-i+j]: (-1,1).q + n, with n+m+1 cells.
+    Polyhedron isg = Polyhedron::box(IVec{0, 0}, IVec{n, m});
+    StorageMapping sm = StorageMapping::create(IVec{1, 1}, isg);
+    EXPECT_EQ(sm.cellCount(), n + m + 1);
+    EXPECT_EQ(sm(IVec{3, 5}), n - 3 + 5);
+
+    // And all three code versions agree at runtime.
+    VirtualArena arena;
+    NativeMem mem;
+    int64_t a = runSimple(SimpleVariant::Natural, 40, 30, mem, arena);
+    EXPECT_EQ(runSimple(SimpleVariant::OvMapped, 40, 30, mem, arena),
+              a);
+    EXPECT_EQ(
+        runSimple(SimpleVariant::StorageOptimized, 40, 30, mem, arena),
+        a);
+}
+
+TEST(PaperNumbers, Figure3)
+{
+    Polyhedron isg = Polyhedron::fromVertices2D(
+        {IVec{1, 1}, IVec{1, 6}, IVec{10, 4}, IVec{10, 9}});
+    EXPECT_EQ(storageCellCount(IVec{3, 1}, isg), 16);
+    EXPECT_EQ(storageCellCount(IVec{3, 0}, isg), 27);
+}
+
+TEST(PaperNumbers, Figure5)
+{
+    SearchResult r = BranchBoundSearch(stencils::fivePoint(),
+                                       SearchObjective::ShortestVector)
+                         .run();
+    EXPECT_EQ(r.best_uov, (IVec{2, 0}));
+
+    int64_t t_max = 20, len = 63;
+    Polyhedron isg = Polyhedron::box(IVec{0, 0}, IVec{t_max, len});
+    StorageMapping inter = StorageMapping::create(
+        IVec{2, 0}, isg, ModLayout::Interleaved);
+    StorageMapping block =
+        StorageMapping::create(IVec{2, 0}, isg, ModLayout::Blocked);
+    for (int64_t t = 0; t <= 5; ++t) {
+        for (int64_t i = 0; i <= 10; ++i) {
+            EXPECT_EQ(inter(IVec{t, i}), 2 * i + (t % 2));
+            EXPECT_EQ(block(IVec{t, i}), i + (t % 2) * (len + 1));
+        }
+    }
+}
+
+TEST(PaperNumbers, Figure6)
+{
+    for (auto [n, m] :
+         {std::pair<int64_t, int64_t>{8, 5}, {100, 1}, {64, 64}}) {
+        Polyhedron isg = Polyhedron::box(IVec{0, 0}, IVec{n, m});
+        EXPECT_EQ(storageCellCount(IVec{1, 1}, isg), n + m + 1);
+    }
+}
+
+TEST(PaperNumbers, Table1)
+{
+    int64_t len = 100000, steps = 1000;
+    EXPECT_EQ(stencil5TemporaryStorage(Stencil5Variant::Natural, len,
+                                       steps),
+              steps * len);
+    EXPECT_EQ(stencil5TemporaryStorage(Stencil5Variant::Ov, len, steps),
+              2 * len);
+    EXPECT_EQ(stencil5TemporaryStorage(Stencil5Variant::StorageOptimized,
+                                       len, steps),
+              len + 3);
+}
+
+TEST(PaperNumbers, Table2)
+{
+    int64_t n0 = 2000, n1 = 500;
+    EXPECT_EQ(psmTemporaryStorage(PsmVariant::Natural, n0, n1),
+              n0 * n1 + n0 + n1);
+    EXPECT_EQ(psmTemporaryStorage(PsmVariant::Ov, n0, n1),
+              2 * n0 + 2 * n1 + 1);
+    EXPECT_EQ(psmTemporaryStorage(PsmVariant::StorageOptimized, n0, n1),
+              2 * n0 + 3);
+}
+
+TEST(PaperNumbers, TheoremReduction)
+{
+    // The two canonical directions of the NP-completeness theorem.
+    {
+        UovMembershipInstance yes =
+            buildReduction(PartitionInstance{{2, 3, 5}});
+        EXPECT_TRUE(UovOracle(yes.stencil).isUov(yes.query));
+    }
+    {
+        UovMembershipInstance no =
+            buildReduction(PartitionInstance{{1, 1, 4}});
+        EXPECT_FALSE(UovOracle(no.stencil).isUov(no.query));
+    }
+}
+
+TEST(PaperNumbers, InitialUovsFromSection3)
+{
+    // ov_o = sum of stencil vectors, always legal.
+    EXPECT_EQ(stencils::simpleExample().initialUov(), (IVec{2, 2}));
+    EXPECT_EQ(stencils::fivePoint().initialUov(), (IVec{5, 0}));
+    for (const Stencil &s :
+         {stencils::simpleExample(), stencils::fivePoint(),
+          stencils::proteinMatching(), stencils::heat3D()}) {
+        EXPECT_TRUE(UovOracle(s).isUov(s.initialUov())) << s.str();
+    }
+}
+
+} // namespace
+} // namespace uov

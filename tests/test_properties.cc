@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Property-based sweeps over randomly generated stencils, OVs, ISGs
+ * and schedules: the invariants the whole system rests on, checked on
+ * inputs nobody hand-picked.  All randomness is seeded (SplitMix64),
+ * so failures are reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/search.h"
+#include "core/storage_count.h"
+#include "core/uov.h"
+#include "mapping/storage_mapping.h"
+#include "schedule/executor.h"
+#include "schedule/legality.h"
+#include "support/rng.h"
+
+namespace uov {
+namespace {
+
+/** Random small 2-D stencil with lex-positive vectors. */
+Stencil
+randomStencil2D(SplitMix64 &rng)
+{
+    size_t m = 1 + rng.nextBelow(4);
+    std::vector<IVec> deps;
+    for (size_t i = 0; i < m; ++i) {
+        int64_t a = rng.nextInRange(0, 2);
+        int64_t b = a == 0 ? rng.nextInRange(1, 3)
+                           : rng.nextInRange(-3, 3);
+        deps.push_back(IVec{a, b});
+    }
+    return Stencil(std::move(deps));
+}
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SeededProperty, InitialUovIsAlwaysUniversal)
+{
+    SplitMix64 rng(GetParam());
+    for (int k = 0; k < 20; ++k) {
+        Stencil s = randomStencil2D(rng);
+        UovOracle oracle(s);
+        EXPECT_TRUE(oracle.isUov(s.initialUov())) << s.str();
+    }
+}
+
+TEST_P(SeededProperty, SearchResultIsUniversalAndMatchesExhaustive)
+{
+    SplitMix64 rng(GetParam() ^ 0xABCD);
+    for (int k = 0; k < 10; ++k) {
+        Stencil s = randomStencil2D(rng);
+        SearchResult bb =
+            BranchBoundSearch(s, SearchObjective::ShortestVector).run();
+        SearchResult ex =
+            exhaustiveUovSearch(s, SearchObjective::ShortestVector);
+        UovOracle oracle(s);
+        EXPECT_TRUE(oracle.isUov(bb.best_uov)) << s.str();
+        EXPECT_EQ(bb.best_objective, ex.best_objective) << s.str();
+        EXPECT_LE(bb.best_objective, s.initialUov().normSquared())
+            << s.str();
+    }
+}
+
+TEST_P(SeededProperty, GreedyIsUniversalAndNoBetterThanExact)
+{
+    SplitMix64 rng(GetParam() ^ 0x1234);
+    for (int k = 0; k < 10; ++k) {
+        Stencil s = randomStencil2D(rng);
+        GreedyResult greedy = greedyUovSearch(s);
+        SearchResult bb =
+            BranchBoundSearch(s, SearchObjective::ShortestVector).run();
+        EXPECT_TRUE(UovOracle(s).isUov(greedy.uov)) << s.str();
+        EXPECT_GE(greedy.objective, bb.best_objective) << s.str();
+    }
+}
+
+TEST_P(SeededProperty, UovSetClosedUnderGeneratorAddition)
+{
+    SplitMix64 rng(GetParam() ^ 0x5678);
+    for (int k = 0; k < 10; ++k) {
+        Stencil s = randomStencil2D(rng);
+        SearchResult bb =
+            BranchBoundSearch(s, SearchObjective::ShortestVector).run();
+        UovOracle oracle(s);
+        for (const auto &v : s.deps())
+            EXPECT_TRUE(oracle.isUov(bb.best_uov + v))
+                << s.str() << " + " << v.str();
+    }
+}
+
+TEST_P(SeededProperty, MappingInvariantsForRandomOvs)
+{
+    SplitMix64 rng(GetParam() ^ 0x9E37);
+    for (int k = 0; k < 15; ++k) {
+        IVec ov{rng.nextInRange(-3, 3), rng.nextInRange(-3, 3)};
+        if (ov.isZero())
+            ov = IVec{1, 1};
+        int64_t n = 4 + static_cast<int64_t>(rng.nextBelow(8));
+        int64_t m = 4 + static_cast<int64_t>(rng.nextBelow(8));
+        Polyhedron isg = Polyhedron::box(IVec{0, 0}, IVec{n, m});
+        for (ModLayout layout :
+             {ModLayout::Interleaved, ModLayout::Blocked}) {
+            StorageMapping sm = StorageMapping::create(ov, isg, layout);
+            EXPECT_EQ(sm.cellCount(), storageCellCount(ov, isg));
+            for (int64_t x = 0; x <= n; ++x) {
+                for (int64_t y = 0; y <= m; ++y) {
+                    IVec q{x, y};
+                    int64_t i = sm(q);
+                    EXPECT_GE(i, 0) << ov.str() << q.str();
+                    EXPECT_LT(i, sm.cellCount()) << ov.str() << q.str();
+                    EXPECT_EQ(sm(q), sm(q + ov)) << ov.str() << q.str();
+                }
+            }
+        }
+    }
+}
+
+TEST_P(SeededProperty, UovCorrectUnderRandomLegalSchedules)
+{
+    SplitMix64 rng(GetParam() ^ 0xF00D);
+    for (int k = 0; k < 5; ++k) {
+        Stencil s = randomStencil2D(rng);
+        SearchResult bb =
+            BranchBoundSearch(s, SearchObjective::ShortestVector).run();
+        StencilComputation comp(s);
+        for (int j = 0; j < 3; ++j) {
+            RandomTopoSchedule sched(s, rng.next());
+            ExecutionResult r = runWithOvStorage(
+                comp, sched, IVec{0, 0}, IVec{6, 6}, bb.best_uov);
+            EXPECT_TRUE(r.correct()) << s.str();
+            EXPECT_EQ(r.clobbers, 0u) << s.str();
+        }
+    }
+}
+
+TEST_P(SeededProperty, NonMembersShorterThanUovFailSomeSchedule)
+{
+    // For every strictly-shorter non-UOV candidate that maps at least
+    // two in-box points together, some random schedule must clobber.
+    SplitMix64 rng(GetParam() ^ 0xBEEF);
+    for (int k = 0; k < 5; ++k) {
+        Stencil s = randomStencil2D(rng);
+        UovOracle oracle(s);
+        SearchResult bb =
+            BranchBoundSearch(s, SearchObjective::ShortestVector).run();
+        // Pick a lex-positive non-UOV shorter than the optimum.
+        IVec bad(2);
+        bool found = false;
+        for (int64_t a = 0; a <= 2 && !found; ++a) {
+            for (int64_t b = -2; b <= 2 && !found; ++b) {
+                IVec cand{a, b};
+                if (cand.isZero() || !cand.isLexPositive())
+                    continue;
+                if (cand.normSquared() >= bb.best_objective)
+                    continue;
+                if (!oracle.isUov(cand)) {
+                    bad = cand;
+                    found = true;
+                }
+            }
+        }
+        if (!found)
+            continue; // optimum is already minimal over candidates
+        StencilComputation comp(s);
+        bool failed = false;
+        for (uint64_t seed = 0; seed < 12 && !failed; ++seed) {
+            ExecutionResult r = runWithOvStorage(
+                comp, RandomTopoSchedule(s, seed), IVec{0, 0},
+                IVec{7, 7}, bad);
+            if (!r.correct())
+                failed = true;
+        }
+        EXPECT_TRUE(failed) << s.str() << " bad ov " << bad.str();
+    }
+}
+
+TEST_P(SeededProperty, ConeMembershipConsistentWithCertificates)
+{
+    SplitMix64 rng(GetParam() ^ 0xCAFE);
+    for (int k = 0; k < 10; ++k) {
+        Stencil s = randomStencil2D(rng);
+        ConeSolver solver(s);
+        for (int j = 0; j < 10; ++j) {
+            IVec w{rng.nextInRange(0, 6), rng.nextInRange(-6, 6)};
+            bool member = solver.contains(w);
+            auto cert = solver.certificate(w);
+            EXPECT_EQ(member, cert.has_value()) << s.str() << w.str();
+            if (cert) {
+                IVec sum(2);
+                for (size_t i = 0; i < cert->size(); ++i) {
+                    EXPECT_GE((*cert)[i], 0);
+                    sum += s.dep(i) * (*cert)[i];
+                }
+                EXPECT_EQ(sum, w) << s.str();
+            }
+        }
+    }
+}
+
+TEST_P(SeededProperty, ThreeDimensionalSearchMatchesExhaustive)
+{
+    // Random 3-D stencils exercise the conservative (dual-functional)
+    // pruning path; optimality must still hold.
+    SplitMix64 rng(GetParam() ^ 0x3D3D);
+    for (int k = 0; k < 5; ++k) {
+        std::vector<IVec> deps;
+        size_t m = 1 + rng.nextBelow(3);
+        for (size_t i = 0; i < m; ++i) {
+            deps.push_back(IVec{1 + rng.nextInRange(0, 1),
+                                rng.nextInRange(-2, 2),
+                                rng.nextInRange(-2, 2)});
+        }
+        Stencil s(std::move(deps));
+        SearchResult bb =
+            BranchBoundSearch(s, SearchObjective::ShortestVector).run();
+        SearchResult ex =
+            exhaustiveUovSearch(s, SearchObjective::ShortestVector);
+        EXPECT_EQ(bb.best_objective, ex.best_objective) << s.str();
+        EXPECT_TRUE(UovOracle(s).isUov(bb.best_uov)) << s.str();
+    }
+}
+
+TEST_P(SeededProperty, NegativeOriginIsgsThroughMappingAndExecutor)
+{
+    // ISG boxes that do not start at the origin: shifts must place
+    // every cell in range and execution must stay exact.
+    SplitMix64 rng(GetParam() ^ 0x0FF5);
+    for (int k = 0; k < 5; ++k) {
+        Stencil s = randomStencil2D(rng);
+        SearchResult bb =
+            BranchBoundSearch(s, SearchObjective::ShortestVector).run();
+        IVec lo{rng.nextInRange(-9, -1), rng.nextInRange(-9, -1)};
+        IVec hi{lo[0] + 6 + rng.nextInRange(0, 4),
+                lo[1] + 6 + rng.nextInRange(0, 4)};
+        Polyhedron isg = Polyhedron::box(lo, hi);
+        StorageMapping sm = StorageMapping::create(bb.best_uov, isg);
+        for (int64_t x = lo[0]; x <= hi[0]; ++x) {
+            for (int64_t y = lo[1]; y <= hi[1]; ++y) {
+                int64_t i = sm(IVec{x, y});
+                EXPECT_GE(i, 0);
+                EXPECT_LT(i, sm.cellCount());
+            }
+        }
+        StencilComputation comp(s);
+        ExecutionResult r =
+            runWithOvStorage(comp, RandomTopoSchedule(s, rng.next()),
+                             lo, hi, bb.best_uov);
+        EXPECT_TRUE(r.correct()) << s.str();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
+                                           21u, 34u));
+
+} // namespace
+} // namespace uov

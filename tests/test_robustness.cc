@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Robustness sweeps: deterministic fuzzing of the nest parser,
+ * randomized lattice-algebra stress, polyhedra beyond rectangles, and
+ * golden checksums pinning the kernels' bit-exact outputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/nest_parser.h"
+#include "geometry/lattice.h"
+#include "geometry/polyhedron.h"
+#include "kernels/heat3d.h"
+#include "kernels/psm.h"
+#include "kernels/stencil5.h"
+#include "support/rng.h"
+
+namespace uov {
+namespace {
+
+TEST(ParserFuzz, GarbageNeverCrashes)
+{
+    SplitMix64 rng(0xF022);
+    const std::string alphabet =
+        "nestbounds statementwriteread[],.-0123456789\n\t #x";
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string text;
+        size_t len = rng.nextBelow(200);
+        for (size_t i = 0; i < len; ++i)
+            text += alphabet[rng.nextBelow(alphabet.size())];
+        // Must either parse (rare) or throw a UovError -- never crash
+        // or throw anything else.
+        try {
+            LoopNest nest = parseNestString(text);
+            EXPECT_GE(nest.depth(), 1u);
+        } catch (const UovError &) {
+            // expected for garbage
+        }
+    }
+}
+
+TEST(ParserFuzz, MutatedValidInputsFailCleanly)
+{
+    const std::string valid =
+        "nest n\nbounds 1..8 1..8\nstatement s\n  write A[0,0]\n"
+        "  read A[-1,0]\n  read A[0,-1]\n";
+    SplitMix64 rng(0xBADF00D);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string text = valid;
+        // Flip a few characters.
+        for (int k = 0; k < 3; ++k) {
+            size_t pos = rng.nextBelow(text.size());
+            text[pos] = static_cast<char>(32 + rng.nextBelow(90));
+        }
+        try {
+            parseNestString(text);
+        } catch (const UovError &) {
+        }
+    }
+    SUCCEED();
+}
+
+TEST(ParserFuzz, RandomValidNestsRoundTrip)
+{
+    SplitMix64 rng(0x90DD);
+    for (int trial = 0; trial < 50; ++trial) {
+        size_t d = 1 + rng.nextBelow(3);
+        IVec lo(d), hi(d);
+        for (size_t c = 0; c < d; ++c) {
+            lo[c] = rng.nextInRange(-3, 3);
+            hi[c] = lo[c] + 1 + rng.nextInRange(0, 6);
+        }
+        LoopNest nest("fuzz", lo, hi);
+        Statement s;
+        s.name = "s";
+        s.write = uniformAccess("A", IVec(std::vector<int64_t>(d, 0)));
+        size_t reads = 1 + rng.nextBelow(4);
+        for (size_t r = 0; r < reads; ++r) {
+            IVec off(d);
+            for (size_t c = 0; c < d; ++c)
+                off[c] = rng.nextInRange(-2, 2);
+            s.reads.push_back(uniformAccess("A", off));
+        }
+        nest.addStatement(s);
+
+        LoopNest reparsed = parseNestString(formatNest(nest));
+        EXPECT_EQ(reparsed.lo(), nest.lo());
+        EXPECT_EQ(reparsed.hi(), nest.hi());
+        EXPECT_EQ(reparsed.statement(0).reads.size(),
+                  nest.statement(0).reads.size());
+    }
+}
+
+TEST(LatticeStress, RandomPrimitiveCompletions)
+{
+    SplitMix64 rng(0x1A77);
+    int done = 0;
+    while (done < 60) {
+        size_t d = 2 + rng.nextBelow(4); // 2..5
+        IVec v(d);
+        for (size_t c = 0; c < d; ++c)
+            v[c] = rng.nextInRange(-9, 9);
+        if (v.isZero() || v.content() != 1)
+            continue;
+        ++done;
+        IMatrix u = unimodularCompletion(v);
+        EXPECT_TRUE(u.isUnimodular()) << v.str();
+        IVec e = u * v;
+        EXPECT_EQ(e[0], 1) << v.str();
+        for (size_t i = 1; i < d; ++i)
+            EXPECT_EQ(e[i], 0) << v.str();
+        // Bezout agrees with content.
+        EXPECT_EQ(bezoutVector(v).dot(v), 1) << v.str();
+    }
+}
+
+TEST(PolyhedronShapes, HexagonVerticesAndProjections)
+{
+    // |x| <= 4, |y| <= 4, |x+y| <= 6: an octagon-ish hexagon.
+    IMatrix a({{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {-1, -1}});
+    Polyhedron p = Polyhedron::fromConstraints(
+        a, IVec{4, 4, 4, 4, 6, 6});
+    EXPECT_EQ(p.vertices().size(), 6u);
+    EXPECT_TRUE(p.contains(IVec{0, 0}));
+    EXPECT_TRUE(p.contains(IVec{4, 2}));
+    EXPECT_FALSE(p.contains(IVec{4, 3}));
+    EXPECT_EQ(p.projectionCount(IVec{1, 0}), 9);
+    EXPECT_EQ(p.projectionCount(IVec{1, 1}), 13);
+    // Count integer points by scan and confirm symmetric.
+    EXPECT_GT(p.countIntegerPoints(), 0);
+}
+
+TEST(GoldenChecksums, KernelsAreBitStable)
+{
+    // Pin exact outputs so refactors of the kernels or RNG cannot
+    // silently change the computations (all variants are compared to
+    // these references elsewhere, so this pins every variant).
+    VirtualArena arena;
+    NativeMem mem;
+    {
+        Stencil5Config cfg;
+        cfg.length = 64;
+        cfg.steps = 5;
+        EXPECT_DOUBLE_EQ(
+            runStencil5(Stencil5Variant::Natural, cfg, mem, arena),
+            34.515047013759613);
+    }
+    {
+        PsmConfig cfg;
+        cfg.n0 = 40;
+        cfg.n1 = 50;
+        EXPECT_EQ(runPsm(PsmVariant::Natural, cfg, mem, arena), 70);
+    }
+    {
+        Heat3DConfig cfg;
+        cfg.nx = 12;
+        cfg.ny = 10;
+        cfg.steps = 4;
+        EXPECT_DOUBLE_EQ(
+            runHeat3D(Heat3DVariant::Natural, cfg, mem, arena),
+            61.81656475935597);
+    }
+}
+
+} // namespace
+} // namespace uov

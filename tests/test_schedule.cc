@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for schedules and legality checks: complete enumeration,
+ * algebraic vs empirical legality agreement, and the canonical skew.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "schedule/legality.h"
+#include "schedule/schedule.h"
+#include "support/error.h"
+
+namespace uov {
+namespace {
+
+/** Every schedule must visit every box point exactly once. */
+void
+expectCompleteEnumeration(const Schedule &s, const IVec &lo,
+                          const IVec &hi)
+{
+    std::set<std::vector<int64_t>> seen;
+    uint64_t count = 0;
+    s.forEach(lo, hi, [&](const IVec &q) {
+        ++count;
+        EXPECT_TRUE(seen.insert(q.coords()).second)
+            << s.name() << " revisits " << q.str();
+        for (size_t c = 0; c < q.dim(); ++c) {
+            EXPECT_GE(q[c], lo[c]) << s.name();
+            EXPECT_LE(q[c], hi[c]) << s.name();
+        }
+    });
+    uint64_t expected = 1;
+    for (size_t c = 0; c < lo.dim(); ++c)
+        expected *= static_cast<uint64_t>(hi[c] - lo[c] + 1);
+    EXPECT_EQ(count, expected) << s.name();
+}
+
+TEST(Schedules, LexIdentityOrder)
+{
+    LexSchedule s = LexSchedule::identity(2);
+    std::vector<IVec> order;
+    s.forEach(IVec{0, 0}, IVec{1, 1},
+              [&](const IVec &q) { order.push_back(q); });
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], (IVec{0, 0}));
+    EXPECT_EQ(order[1], (IVec{0, 1}));
+    EXPECT_EQ(order[2], (IVec{1, 0}));
+    EXPECT_EQ(order[3], (IVec{1, 1}));
+}
+
+TEST(Schedules, LexInterchangeOrder)
+{
+    LexSchedule s({1, 0}); // j outer, i inner
+    std::vector<IVec> order;
+    s.forEach(IVec{0, 0}, IVec{1, 1},
+              [&](const IVec &q) { order.push_back(q); });
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], (IVec{0, 0}));
+    EXPECT_EQ(order[1], (IVec{1, 0}));
+    EXPECT_EQ(order[2], (IVec{0, 1}));
+    EXPECT_EQ(order[3], (IVec{1, 1}));
+}
+
+TEST(Schedules, BadPermutationRejected)
+{
+    EXPECT_THROW(LexSchedule({0, 0}), UovUserError);
+    EXPECT_THROW(LexSchedule({1, 2}), UovUserError);
+}
+
+TEST(Schedules, AllSchedulesEnumerateCompletely)
+{
+    IVec lo{0, 0}, hi{5, 7};
+    expectCompleteEnumeration(LexSchedule::identity(2), lo, hi);
+    expectCompleteEnumeration(LexSchedule({1, 0}), lo, hi);
+    expectCompleteEnumeration(
+        TransformedSchedule(IMatrix({{1, 0}, {2, 1}}), "skew2"), lo, hi);
+    expectCompleteEnumeration(TiledSchedule::rectangular({3, 4}), lo, hi);
+    expectCompleteEnumeration(
+        TiledSchedule({2, 3}, IMatrix({{1, 0}, {1, 1}}), "skew-tile"),
+        lo, hi);
+    expectCompleteEnumeration(WavefrontSchedule(IVec{1, 1}), lo, hi);
+    expectCompleteEnumeration(WavefrontSchedule(IVec{2, -1}), lo, hi);
+    expectCompleteEnumeration(
+        RandomTopoSchedule(stencils::simpleExample(), 42), lo, hi);
+}
+
+TEST(Schedules, ThreeDimensionalEnumeration)
+{
+    IVec lo{0, 0, 0}, hi{3, 2, 4};
+    expectCompleteEnumeration(LexSchedule::identity(3), lo, hi);
+    expectCompleteEnumeration(TiledSchedule::rectangular({2, 2, 2}), lo,
+                              hi);
+    expectCompleteEnumeration(
+        RandomTopoSchedule(stencils::heat3D(), 7), lo, hi);
+}
+
+TEST(Schedules, NonUnimodularTransformRejected)
+{
+    EXPECT_THROW(TransformedSchedule(IMatrix({{2, 0}, {0, 1}})),
+                 UovUserError);
+    EXPECT_THROW(TiledSchedule({2, 2}, IMatrix({{1, 1}, {1, 1}})),
+                 UovUserError);
+}
+
+TEST(Legality, PermutationChecks)
+{
+    // Simple example: interchange is legal.
+    EXPECT_TRUE(permutationLegal({0, 1}, stencils::simpleExample()));
+    EXPECT_TRUE(permutationLegal({1, 0}, stencils::simpleExample()));
+    // 5-point stencil: interchange flips (1,-2) to (-2,1) -- illegal.
+    EXPECT_TRUE(permutationLegal({0, 1}, stencils::fivePoint()));
+    EXPECT_FALSE(permutationLegal({1, 0}, stencils::fivePoint()));
+}
+
+TEST(Legality, TransformChecks)
+{
+    IMatrix skew({{1, 0}, {2, 1}});
+    EXPECT_TRUE(transformLegal(skew, stencils::fivePoint()));
+    IMatrix reverse({{1, 0}, {0, -1}});
+    // Reversal of j: (1,2) -> (1,-2) still lex-positive; (1,-2)->(1,2).
+    EXPECT_TRUE(transformLegal(reverse, stencils::fivePoint()));
+    // But reversal of time is illegal.
+    IMatrix treverse({{-1, 0}, {0, 1}});
+    EXPECT_FALSE(transformLegal(treverse, stencils::fivePoint()));
+}
+
+TEST(Legality, TilingNeedsSkewForFivePoint)
+{
+    EXPECT_FALSE(
+        tilingLegal(IMatrix::identity(2), stencils::fivePoint()));
+    IMatrix skew = skewToNonNegative(stencils::fivePoint());
+    EXPECT_EQ(skew, IMatrix({{1, 0}, {2, 1}}));
+    EXPECT_TRUE(tilingLegal(skew, stencils::fivePoint()));
+}
+
+TEST(Legality, TilingLegalForForwardOnlyStencils)
+{
+    EXPECT_TRUE(
+        tilingLegal(IMatrix::identity(2), stencils::simpleExample()));
+    EXPECT_TRUE(
+        tilingLegal(IMatrix::identity(2), stencils::proteinMatching()));
+}
+
+TEST(Legality, SkewRequiresTimeAdvance)
+{
+    // (0,1) does not advance dimension 0.
+    EXPECT_THROW(skewToNonNegative(stencils::simpleExample()),
+                 UovUserError);
+    IMatrix skew3 = skewToNonNegative(stencils::heat3D());
+    EXPECT_TRUE(tilingLegal(skew3, stencils::heat3D()));
+}
+
+TEST(Legality, WavefrontChecks)
+{
+    EXPECT_TRUE(wavefrontLegal(IVec{1, 1}, stencils::simpleExample()));
+    EXPECT_FALSE(wavefrontLegal(IVec{1, 1}, stencils::fivePoint()));
+    EXPECT_TRUE(wavefrontLegal(IVec{3, 1}, stencils::fivePoint()));
+}
+
+TEST(Legality, EmpiricalMatchesAlgebraic)
+{
+    IVec lo{0, 0}, hi{6, 6};
+    Stencil five = stencils::fivePoint();
+
+    // Legal cases.
+    EXPECT_TRUE(scheduleRespectsStencil(LexSchedule::identity(2), lo, hi,
+                                        five));
+    IMatrix skew = skewToNonNegative(five);
+    EXPECT_TRUE(scheduleRespectsStencil(
+        TiledSchedule({3, 3}, skew, "skew-tile"), lo, hi, five));
+    EXPECT_TRUE(scheduleRespectsStencil(WavefrontSchedule(IVec{3, 1}),
+                                        lo, hi, five));
+    EXPECT_TRUE(scheduleRespectsStencil(RandomTopoSchedule(five, 99), lo,
+                                        hi, five));
+
+    // Illegal cases.
+    EXPECT_FALSE(scheduleRespectsStencil(LexSchedule({1, 0}), lo, hi,
+                                         five));
+    EXPECT_FALSE(scheduleRespectsStencil(
+        TiledSchedule::rectangular({3, 3}), lo, hi, five));
+    EXPECT_FALSE(scheduleRespectsStencil(WavefrontSchedule(IVec{1, 1}),
+                                         lo, hi, five));
+}
+
+TEST(Legality, RandomTopoAlwaysLegalAcrossSeeds)
+{
+    IVec lo{0, 0}, hi{5, 5};
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+        EXPECT_TRUE(scheduleRespectsStencil(
+            RandomTopoSchedule(stencils::simpleExample(), seed), lo, hi,
+            stencils::simpleExample()))
+            << seed;
+    }
+}
+
+} // namespace
+} // namespace uov

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for src/support: checked arithmetic, logging, tables, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/checked.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+namespace uov {
+namespace {
+
+TEST(CheckedArithmetic, AddDetectsOverflow)
+{
+    EXPECT_EQ(checkedAdd(2, 3), 5);
+    EXPECT_EQ(checkedAdd(-2, -3), -5);
+    EXPECT_THROW(checkedAdd(INT64_MAX, 1), UovOverflowError);
+    EXPECT_THROW(checkedAdd(INT64_MIN, -1), UovOverflowError);
+}
+
+TEST(CheckedArithmetic, SubDetectsOverflow)
+{
+    EXPECT_EQ(checkedSub(2, 5), -3);
+    EXPECT_THROW(checkedSub(INT64_MIN, 1), UovOverflowError);
+}
+
+TEST(CheckedArithmetic, MulDetectsOverflow)
+{
+    EXPECT_EQ(checkedMul(-4, 5), -20);
+    EXPECT_THROW(checkedMul(INT64_MAX, 2), UovOverflowError);
+    EXPECT_THROW(checkedMul(INT64_MIN, -1), UovOverflowError);
+}
+
+TEST(CheckedArithmetic, NegAndAbs)
+{
+    EXPECT_EQ(checkedNeg(7), -7);
+    EXPECT_EQ(checkedAbs(-7), 7);
+    EXPECT_EQ(checkedAbs(0), 0);
+    EXPECT_THROW(checkedNeg(INT64_MIN), UovOverflowError);
+    EXPECT_THROW(checkedAbs(INT64_MIN), UovOverflowError);
+}
+
+TEST(CheckedArithmetic, Gcd)
+{
+    EXPECT_EQ(gcd64(12, 18), 6);
+    EXPECT_EQ(gcd64(-12, 18), 6);
+    EXPECT_EQ(gcd64(0, 5), 5);
+    EXPECT_EQ(gcd64(0, 0), 0);
+}
+
+TEST(CheckedArithmetic, FloorCeilDiv)
+{
+    EXPECT_EQ(floorDiv(7, 2), 3);
+    EXPECT_EQ(floorDiv(-7, 2), -4);
+    EXPECT_EQ(floorDiv(7, -2), -4);
+    EXPECT_EQ(floorDiv(-7, -2), 3);
+    EXPECT_EQ(ceilDiv(7, 2), 4);
+    EXPECT_EQ(ceilDiv(-7, 2), -3);
+    EXPECT_THROW(floorDiv(1, 0), UovError);
+}
+
+TEST(CheckedArithmetic, FloorMod)
+{
+    EXPECT_EQ(floorMod(7, 3), 1);
+    EXPECT_EQ(floorMod(-7, 3), 2);
+    EXPECT_EQ(floorMod(0, 3), 0);
+    EXPECT_THROW(floorMod(1, 0), UovError);
+    EXPECT_THROW(floorMod(1, -3), UovError);
+}
+
+TEST(ErrorMacros, CheckThrowsInternalWithLocation)
+{
+    try {
+        UOV_CHECK(1 == 2, "custom " << 42);
+        FAIL() << "expected throw";
+    } catch (const UovInternalError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("test_support.cc"), std::string::npos);
+        EXPECT_NE(what.find("custom 42"), std::string::npos);
+    }
+}
+
+TEST(ErrorMacros, RequireThrowsUserError)
+{
+    EXPECT_THROW(UOV_REQUIRE(false, "nope"), UovUserError);
+    EXPECT_NO_THROW(UOV_REQUIRE(true, "fine"));
+}
+
+TEST(Logging, RespectsLevelAndSink)
+{
+    std::ostringstream oss;
+    Logger::instance().sink(&oss);
+    Logger::instance().level(LogLevel::Warn);
+    UOV_LOG_INFO("hidden");
+    UOV_LOG_WARN("shown");
+    Logger::instance().sink(&std::cerr);
+
+    std::string out = oss.str();
+    EXPECT_EQ(out.find("hidden"), std::string::npos);
+    EXPECT_NE(out.find("shown"), std::string::npos);
+    EXPECT_NE(out.find("[uov:warn]"), std::string::npos);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.nextBelow(13);
+        EXPECT_LT(v, 13u);
+    }
+    EXPECT_THROW(rng.nextBelow(0), UovError);
+}
+
+TEST(Rng, NextInRangeHitsEndpoints)
+{
+    SplitMix64 rng(1);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.nextInRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= (v == -2);
+        saw_hi |= (v == 2);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    SplitMix64 rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Table, AlignedPrintContainsCells)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.addRow().cell("alpha").cell(int64_t{10});
+    t.addRow().cell("beta").cell(3.5, 1);
+
+    std::ostringstream oss;
+    t.print(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("3.5"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows)
+{
+    Table t("demo");
+    t.header({"a", "b"});
+    EXPECT_THROW(t.row({"only-one"}), UovUserError);
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    Table t("demo");
+    t.header({"a", "b"});
+    t.row({"x,y", "say \"hi\""});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Format, FormatCountInsertsSeparators)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(1234567), "1,234,567");
+    EXPECT_EQ(formatCount(-1234567), "-1,234,567");
+}
+
+TEST(Format, FormatDoubleFixedPrecision)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace uov
