@@ -12,12 +12,15 @@
 
 #include <chrono>
 #include <functional>
+#include <future>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "sim/machine.h"
+#include "sim/streaming.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace uov {
 namespace bench {
@@ -83,6 +86,68 @@ paperMachines(double memory_scale = 1.0)
     }
     return machines;
 }
+
+/**
+ * One fused simulation pass: per-machine cycle totals plus the raw
+ * material for throughput reporting.  `machines` holds indices into
+ * the bench's machine vector; `cycles[k]` is machines[k]'s total.
+ */
+struct FusedRun
+{
+    std::vector<size_t> machines;
+    std::vector<double> cycles;
+    uint64_t events = 0; ///< simulated events applied, all machines
+    double wall_ns = 0;
+};
+
+/**
+ * Run @p kernel once, streaming every event into the machines named
+ * by @p group (indices into @p machines) simultaneously.  The caller
+ * must only group machines that would observe the same address
+ * stream: the scaling benches tune tile sizes to each machine's L1,
+ * so tiled variants are grouped by tile configuration while untiled
+ * variants fuse all machines into a single kernel pass.
+ */
+template <typename KernelFn>
+FusedRun
+runFusedGroup(const std::vector<MachineConfig> &machines,
+              std::vector<size_t> group, KernelFn &&kernel)
+{
+    std::vector<MachineConfig> cfgs;
+    cfgs.reserve(group.size());
+    for (size_t i : group)
+        cfgs.push_back(machines[i]);
+    MultiMachineSim sim(cfgs);
+    StreamingSim mem = sim.policy();
+    VirtualArena arena;
+    auto start = std::chrono::steady_clock::now();
+    kernel(mem, arena);
+    auto stop = std::chrono::steady_clock::now();
+
+    FusedRun r;
+    r.machines = std::move(group);
+    r.cycles.reserve(r.machines.size());
+    for (size_t k = 0; k < r.machines.size(); ++k)
+        r.cycles.push_back(sim.system(k).cycles());
+    r.events = sim.eventsProcessed();
+    r.wall_ns =
+        std::chrono::duration<double, std::nano>(stop - start).count();
+    return r;
+}
+
+/**
+ * Millions of simulated events per second for aggregated fused runs
+ * (events summed across machines; time summed across tasks, so with
+ * the pool saturating every core this is per-core throughput).
+ */
+inline double
+mEventsPerSec(double events, double wall_ns)
+{
+    return wall_ns > 0 ? events * 1000.0 / wall_ns : 0.0;
+}
+
+/** Header label of the throughput column the scaling benches emit. */
+inline const char *const kThroughputHeader = "MEvents/s";
 
 /** Median wall-clock nanoseconds of fn() over @p reps runs. */
 inline double

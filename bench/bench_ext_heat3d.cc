@@ -6,11 +6,17 @@
  * sizes on the three simulated testbeds.  The paper's 2-D story
  * (natural thrashes, OV-tiled stays flat, storage-optimized is
  * untilable) recurs one dimension up.
+ *
+ * Execution pipeline: like Figures 9-11, sweep points run as tasks
+ * on the shared thread pool, each streaming one kernel pass into all
+ * machines sharing the address stream.  The MEvents/s column is
+ * aggregate per-core simulation throughput for the row.
  */
 
 #include "bench_common.h"
 
 #include <cmath>
+#include <numeric>
 
 #include "kernels/heat3d.h"
 
@@ -18,18 +24,45 @@ using namespace uov;
 
 namespace {
 
-double
-simCyclesPerIter(Heat3DVariant v, const Heat3DConfig &cfg,
-                 const MachineConfig &machine)
+Heat3DConfig
+configFor(const MachineConfig &machine, int64_t n)
 {
-    MemorySystem ms(machine);
-    SimMem mem{&ms};
-    VirtualArena arena;
-    runHeat3D(v, cfg, mem, arena);
-    double iters = static_cast<double>(cfg.nx) *
-                   static_cast<double>(cfg.ny) *
-                   static_cast<double>(cfg.steps);
-    return ms.cycles() / iters;
+    Heat3DConfig cfg;
+    cfg.nx = cfg.ny = n;
+    cfg.steps = 8;
+    cfg.tile_t = 8;
+    // Tile for L1: two tile planes of tile_x*tile_y floats.
+    auto side = static_cast<int64_t>(
+        std::sqrt(machine.l1.size_bytes / 8.0));
+    cfg.tile_x = cfg.tile_y = std::max<int64_t>(8, side);
+    return cfg;
+}
+
+std::vector<std::vector<size_t>>
+machineGroups(const std::vector<MachineConfig> &machines,
+              Heat3DVariant v, int64_t n)
+{
+    bool tiled = v == Heat3DVariant::NaturalTiled ||
+                 v == Heat3DVariant::OvTiled;
+    if (!tiled) {
+        std::vector<size_t> all(machines.size());
+        std::iota(all.begin(), all.end(), size_t{0});
+        return {all};
+    }
+    std::vector<std::vector<size_t>> groups;
+    std::vector<int64_t> keys;
+    for (size_t i = 0; i < machines.size(); ++i) {
+        int64_t key = configFor(machines[i], n).tile_x;
+        size_t g = 0;
+        while (g < keys.size() && keys[g] != key)
+            ++g;
+        if (g == keys.size()) {
+            keys.push_back(key);
+            groups.emplace_back();
+        }
+        groups[g].push_back(i);
+    }
+    return groups;
 }
 
 } // namespace
@@ -50,44 +83,91 @@ main(int argc, char **argv)
     machines[1].memory_bytes = 16ll << 20;
     machines[2].memory_bytes = 32ll << 20;
 
-    for (const auto &machine : machines) {
+    const auto &variants = allHeat3DVariants();
+
+    struct Meta
+    {
+        size_t li, vi;
+    };
+    std::vector<Meta> metas;
+    std::vector<std::future<bench::FusedRun>> futures;
+    for (size_t li = 0; li < sides.size(); ++li) {
+        for (size_t vi = 0; vi < variants.size(); ++vi) {
+            Heat3DVariant v = variants[vi];
+            for (auto &group : machineGroups(machines, v, sides[li])) {
+                Heat3DConfig cfg =
+                    configFor(machines[group[0]], sides[li]);
+                metas.push_back({li, vi});
+                futures.push_back(ThreadPool::shared().submit(
+                    [&machines, group, cfg, v] {
+                        return bench::runFusedGroup(
+                            machines, group,
+                            [&](StreamingSim &mem, VirtualArena &arena) {
+                                runHeat3D(v, cfg, mem, arena);
+                            });
+                    }));
+            }
+        }
+    }
+
+    std::vector<std::vector<std::vector<double>>> cycles(
+        machines.size(),
+        std::vector<std::vector<double>>(
+            sides.size(), std::vector<double>(variants.size(), 0)));
+    std::vector<double> row_events(sides.size(), 0);
+    std::vector<double> row_ns(sides.size(), 0);
+    for (size_t t = 0; t < futures.size(); ++t) {
+        bench::FusedRun r = futures[t].get();
+        for (size_t k = 0; k < r.machines.size(); ++k)
+            cycles[r.machines[k]][metas[t].li][metas[t].vi] =
+                r.cycles[k];
+        row_events[metas[t].li] += static_cast<double>(r.events);
+        row_ns[metas[t].li] += r.wall_ns;
+    }
+
+    const int64_t steps = 8;
+    for (size_t mi = 0; mi < machines.size(); ++mi) {
+        const auto &machine = machines[mi];
         Table t("heat3d cycles/iteration on " + machine.name +
                 " (T=8, N=M swept)");
         std::vector<std::string> header = {"N=M"};
-        for (Heat3DVariant v : allHeat3DVariants())
+        for (Heat3DVariant v : variants)
             header.push_back(heat3DVariantName(v));
+        header.push_back(bench::kThroughputHeader);
         t.header(header);
 
-        for (int64_t n : sides) {
-            Heat3DConfig cfg;
-            cfg.nx = cfg.ny = n;
-            cfg.steps = 8;
-            cfg.tile_t = 8;
-            // Tile for L1: two tile planes of tile_x*tile_y floats.
-            auto side = static_cast<int64_t>(
-                std::sqrt(machine.l1.size_bytes / 8.0));
-            cfg.tile_x = cfg.tile_y = std::max<int64_t>(8, side);
-
+        for (size_t li = 0; li < sides.size(); ++li) {
+            double iters = static_cast<double>(sides[li]) *
+                           static_cast<double>(sides[li]) *
+                           static_cast<double>(steps);
             auto row = t.addRow();
-            row.cell(formatCount(n));
-            for (Heat3DVariant v : allHeat3DVariants())
-                row.cell(simCyclesPerIter(v, cfg, machine), 1);
+            row.cell(formatCount(sides[li]));
+            for (size_t vi = 0; vi < variants.size(); ++vi)
+                row.cell(cycles[mi][li][vi] / iters, 1);
+            row.cell(bench::mEventsPerSec(row_events[li], row_ns[li]),
+                     2);
         }
         bench::emit(t, opt);
     }
 
-    // Shape check at the largest size on the PentiumPro.
+    // Shape check at the largest size on the PentiumPro (the table's
+    // L1-derived tile side is 32 there, matching the seed's check).
     {
-        Heat3DConfig cfg;
-        cfg.nx = cfg.ny = sides.back();
-        cfg.steps = 8;
-        cfg.tile_t = 8;
-        cfg.tile_x = cfg.tile_y = 32;
+        auto vi = [&](Heat3DVariant v) {
+            for (size_t i = 0; i < variants.size(); ++i)
+                if (variants[i] == v)
+                    return i;
+            return size_t{0};
+        };
+        size_t last = sides.size() - 1;
+        double iters = static_cast<double>(sides[last]) *
+                       static_cast<double>(sides[last]) *
+                       static_cast<double>(steps);
         double natural =
-            simCyclesPerIter(Heat3DVariant::Natural, cfg, machines[0]);
+            cycles[0][last][vi(Heat3DVariant::Natural)] / iters;
         double ov_tiled =
-            simCyclesPerIter(Heat3DVariant::OvTiled, cfg, machines[0]);
-        std::cerr << "shape check @ N=M=" << sides.back() << " on "
+            cycles[0][last][vi(Heat3DVariant::OvTiled)] / iters;
+        std::cerr << "shape check @ N=M=" << sides[last] << " on "
                   << machines[0].name << ": natural="
                   << formatDouble(natural, 1)
                   << " vs ov_tiled=" << formatDouble(ov_tiled, 1)

@@ -15,9 +15,20 @@
  *     low;
  *   - past memory: natural skyrockets first, then OV-untiled; the
  *     storage-optimized and tiled-OV versions survive longest.
+ *
+ * Execution pipeline (streaming + shared thread pool): every sweep
+ * point is an independent task on the shared pool, and each task
+ * streams one kernel pass into all machines that observe the same
+ * address stream (untiled variants fuse all three; tiled variants
+ * group machines by L1-derived tile size).  No trace is materialized
+ * and no kernel pass is repeated per machine.  The MEvents/s column
+ * is the aggregate simulation throughput for that row's runs (events
+ * summed across machines / task wall time summed, i.e. per-core).
  */
 
 #include "bench_common.h"
+
+#include <numeric>
 
 #include "kernels/stencil5.h"
 
@@ -25,17 +36,45 @@ using namespace uov;
 
 namespace {
 
-double
-simCyclesPerIter(Stencil5Variant v, const Stencil5Config &cfg,
-                 const MachineConfig &machine)
+Stencil5Config
+configFor(const MachineConfig &machine, int64_t len, int64_t steps)
 {
-    MemorySystem ms(machine);
-    SimMem mem{&ms};
-    VirtualArena arena;
-    runStencil5(v, cfg, mem, arena);
-    double iters = static_cast<double>(cfg.length) *
-                   static_cast<double>(cfg.steps);
-    return ms.cycles() / iters;
+    Stencil5Config cfg;
+    cfg.length = len;
+    cfg.steps = steps;
+    cfg.tile_t = steps;
+    // Tile for L1: 2 rows of tile_s floats ~ L1 capacity.
+    cfg.tile_s = std::max<int64_t>(64, machine.l1.size_bytes / (4 * 2));
+    return cfg;
+}
+
+/**
+ * Machines that may share one fused kernel pass: all of them for
+ * untiled variants; same-tile_s machines for tiled ones.
+ */
+std::vector<std::vector<size_t>>
+machineGroups(const std::vector<MachineConfig> &machines,
+              Stencil5Variant v, int64_t len, int64_t steps)
+{
+    if (!stencil5VariantTiled(v)) {
+        std::vector<size_t> all(machines.size());
+        std::iota(all.begin(), all.end(), size_t{0});
+        return {all};
+    }
+    std::vector<std::vector<size_t>> groups;
+    std::vector<int64_t> keys;
+    for (size_t i = 0; i < machines.size(); ++i) {
+        int64_t key = configFor(machines[i], len, steps).tile_s;
+        size_t g = 0;
+        while (g < keys.size() && keys[g] != key)
+            ++g;
+        if (g == keys.size()) {
+            keys.push_back(key);
+            groups.emplace_back();
+        }
+        groups[g].push_back(i);
+    }
+    return groups;
 }
 
 } // namespace
@@ -58,7 +97,53 @@ main(int argc, char **argv)
     machines[1].memory_bytes = 16ll << 20; // Ultra2
     machines[2].memory_bytes = 32ll << 20; // Alpha
 
-    for (const auto &machine : machines) {
+    const auto &variants = allStencil5Variants();
+
+    // Dispatch every (length, variant, machine-group) as a pool task.
+    struct Meta
+    {
+        size_t li, vi;
+    };
+    std::vector<Meta> metas;
+    std::vector<std::future<bench::FusedRun>> futures;
+    for (size_t li = 0; li < lengths.size(); ++li) {
+        for (size_t vi = 0; vi < variants.size(); ++vi) {
+            Stencil5Variant v = variants[vi];
+            for (auto &group :
+                 machineGroups(machines, v, lengths[li], steps)) {
+                Stencil5Config cfg =
+                    configFor(machines[group[0]], lengths[li], steps);
+                metas.push_back({li, vi});
+                futures.push_back(ThreadPool::shared().submit(
+                    [&machines, group, cfg, v] {
+                        return bench::runFusedGroup(
+                            machines, group,
+                            [&](StreamingSim &mem, VirtualArena &arena) {
+                                runStencil5(v, cfg, mem, arena);
+                            });
+                    }));
+            }
+        }
+    }
+
+    // cycles[machine][length][variant]
+    std::vector<std::vector<std::vector<double>>> cycles(
+        machines.size(),
+        std::vector<std::vector<double>>(
+            lengths.size(), std::vector<double>(variants.size(), 0)));
+    std::vector<double> row_events(lengths.size(), 0);
+    std::vector<double> row_ns(lengths.size(), 0);
+    for (size_t t = 0; t < futures.size(); ++t) {
+        bench::FusedRun r = futures[t].get();
+        for (size_t k = 0; k < r.machines.size(); ++k)
+            cycles[r.machines[k]][metas[t].li][metas[t].vi] =
+                r.cycles[k];
+        row_events[metas[t].li] += static_cast<double>(r.events);
+        row_ns[metas[t].li] += r.wall_ns;
+    }
+
+    for (size_t mi = 0; mi < machines.size(); ++mi) {
+        const auto &machine = machines[mi];
         Table t("Figure " +
                 std::string(machine.name == "PentiumPro-200" ? "9"
                             : machine.name == "Ultra2-200"   ? "10"
@@ -67,43 +152,46 @@ main(int argc, char **argv)
                 std::to_string(steps) + ", memory " +
                 std::to_string(machine.memory_bytes >> 20) + " MiB)");
         std::vector<std::string> header = {"Length"};
-        for (Stencil5Variant v : allStencil5Variants())
+        for (Stencil5Variant v : variants)
             header.push_back(stencil5VariantName(v));
+        header.push_back(bench::kThroughputHeader);
         t.header(header);
 
-        for (int64_t len : lengths) {
-            Stencil5Config cfg;
-            cfg.length = len;
-            cfg.steps = steps;
-            cfg.tile_t = steps;
-            // Tile for L1: 2 rows of tile_s floats ~ L1 capacity.
-            cfg.tile_s =
-                std::max<int64_t>(64, machine.l1.size_bytes / (4 * 2));
-
+        for (size_t li = 0; li < lengths.size(); ++li) {
+            double iters = static_cast<double>(lengths[li]) *
+                           static_cast<double>(steps);
             auto row = t.addRow();
-            row.cell(formatCount(len));
-            for (Stencil5Variant v : allStencil5Variants())
-                row.cell(simCyclesPerIter(v, cfg, machine), 1);
+            row.cell(formatCount(lengths[li]));
+            for (size_t vi = 0; vi < variants.size(); ++vi)
+                row.cell(cycles[mi][li][vi] / iters, 1);
+            row.cell(bench::mEventsPerSec(row_events[li], row_ns[li]),
+                     2);
         }
         bench::emit(t, opt);
     }
 
-    // Shape assertions matching the paper's story at the largest size.
+    // Shape assertions matching the paper's story at the largest size
+    // (read off the fused results; tile_s there equals L1/8 floats,
+    // the same tile the table rows use).
     {
-        const auto &machine = machines[0];
-        Stencil5Config cfg;
-        cfg.length = lengths.back();
-        cfg.steps = steps;
-        cfg.tile_t = steps;
-        cfg.tile_s = machine.l1.size_bytes / 8;
+        auto vi = [&](Stencil5Variant v) {
+            for (size_t i = 0; i < variants.size(); ++i)
+                if (variants[i] == v)
+                    return i;
+            return size_t{0};
+        };
+        size_t last = lengths.size() - 1;
+        double iters = static_cast<double>(lengths[last]) *
+                       static_cast<double>(steps);
         double natural =
-            simCyclesPerIter(Stencil5Variant::Natural, cfg, machine);
+            cycles[0][last][vi(Stencil5Variant::Natural)] / iters;
         double ov_tiled =
-            simCyclesPerIter(Stencil5Variant::OvTiled, cfg, machine);
-        double opt_v = simCyclesPerIter(
-            Stencil5Variant::StorageOptimized, cfg, machine);
-        std::cerr << "shape check @ L=" << formatCount(cfg.length)
-                  << " on " << machine.name << ": natural="
+            cycles[0][last][vi(Stencil5Variant::OvTiled)] / iters;
+        double opt_v =
+            cycles[0][last][vi(Stencil5Variant::StorageOptimized)] /
+            iters;
+        std::cerr << "shape check @ L=" << formatCount(lengths[last])
+                  << " on " << machines[0].name << ": natural="
                   << formatDouble(natural, 1)
                   << " >> ov_tiled=" << formatDouble(ov_tiled, 1)
                   << " ~ storage_optimized=" << formatDouble(opt_v, 1)

@@ -9,7 +9,9 @@ Each bench emits one CSV table per simulated machine when run with
 --csv; this script splits on header rows (first cell "Length" or
 "Problem Size" or "N=M"), plots every version column against the size
 column on log-x axes, and writes one subplot per machine -- the same
-layout as the paper's Figures 9-14.
+layout as the paper's Figures 9-14.  Diagnostic columns the streaming
+pipeline appends (simulation throughput, "MEvents/s") are not paper
+data and are skipped.
 
 Requires matplotlib; degrades to a textual summary without it.
 """
@@ -19,6 +21,9 @@ import csv
 import sys
 
 SIZE_HEADERS = {"Length", "Problem Size", "N=M"}
+
+# Throughput/diagnostic columns to leave out of the figures.
+IGNORED_COLUMNS = {"MEvents/s"}
 
 
 def parse_tables(path):
@@ -72,6 +77,8 @@ def main():
         header = table["header"]
         sizes = [to_number(r[0]) for r in table["rows"]]
         for col in range(1, len(header)):
+            if header[col] in IGNORED_COLUMNS:
+                continue
             values = [to_number(r[col]) for r in table["rows"]]
             ax.plot(sizes, values, marker="o", label=header[col])
         ax.set_xscale("log")

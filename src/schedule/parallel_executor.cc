@@ -2,10 +2,10 @@
 
 #include <atomic>
 #include <map>
-#include <thread>
 
 #include "schedule/legality.h"
 #include "support/error.h"
+#include "support/thread_pool.h"
 
 namespace uov {
 
@@ -68,22 +68,11 @@ runParallelWavefront(const StencilComputation &comp, const IVec &lo,
             }
         };
 
-        size_t n = pts.size();
-        size_t nthreads = std::min<size_t>(threads, n);
-        if (nthreads <= 1) {
-            worker(0, n);
-        } else {
-            std::vector<std::thread> pool;
-            size_t chunk = (n + nthreads - 1) / nthreads;
-            for (size_t t = 0; t < nthreads; ++t) {
-                size_t begin = t * chunk;
-                size_t end = std::min(n, begin + chunk);
-                if (begin < end)
-                    pool.emplace_back(worker, begin, end);
-            }
-            for (auto &th : pool)
-                th.join(); // the inter-wave barrier
-        }
+        // Waves are often small; dispatching chunks to the shared
+        // persistent pool avoids paying a thread spawn + join per
+        // wave.  parallelFor blocks until the wave is done -- the
+        // inter-wave barrier.
+        ThreadPool::shared().parallelFor(pts.size(), threads, worker);
     }
 
     result.points = points.load();

@@ -1,5 +1,7 @@
 #include "sim/cache.h"
 
+#include <bit>
+
 #include "support/error.h"
 
 namespace uov {
@@ -15,10 +17,8 @@ isPowerOfTwo(int64_t v)
 unsigned
 log2OfPow2(int64_t v)
 {
-    unsigned s = 0;
-    while ((int64_t{1} << s) < v)
-        ++s;
-    return s;
+    return static_cast<unsigned>(
+        std::countr_zero(static_cast<uint64_t>(v)));
 }
 
 } // namespace
@@ -45,23 +45,31 @@ Cache::Cache(CacheConfig config) : _config(std::move(config))
 {
     _config.validate();
     _sets = _config.sets();
+    _assoc = _config.associativity;
+    _set_mask = static_cast<uint64_t>(_sets - 1);
     _line_shift = log2OfPow2(_config.line_bytes);
     _set_shift = log2OfPow2(_sets);
-    _ways.assign(static_cast<size_t>(_sets * _config.associativity),
-                 Way{});
+    _ways.assign(static_cast<size_t>(_sets * _assoc), Way{});
 }
 
 bool
 Cache::access(uint64_t addr, bool is_write)
 {
     uint64_t line = addr >> _line_shift;
-    auto set = static_cast<size_t>(line & (_sets - 1));
+    auto set = static_cast<size_t>(line & _set_mask);
     uint64_t tag = line >> _set_shift;
 
-    Way *base = &_ways[set * _config.associativity];
+    Way *base = &_ways[set * static_cast<size_t>(_assoc)];
     ++_stamp;
 
-    for (int64_t w = 0; w < _config.associativity; ++w) {
+    // One pass finds both a hit and the fill/eviction victim.  The
+    // victim scan is a branchless running minimum over lru stamps:
+    // stamps start at 1 and are only written on hit/fill, so invalid
+    // ways keep lru == 0 and the first invalid way wins exactly as a
+    // dedicated fill-an-invalid-way scan would.
+    Way *victim = base;
+    uint64_t victim_lru = base->lru;
+    for (int64_t w = 0; w < _assoc; ++w) {
         Way &way = base[w];
         if (way.valid && way.tag == tag) {
             way.lru = _stamp;
@@ -69,18 +77,11 @@ Cache::access(uint64_t addr, bool is_write)
             ++_hits;
             return true;
         }
+        bool older = way.lru < victim_lru;
+        victim = older ? &way : victim;
+        victim_lru = older ? way.lru : victim_lru;
     }
 
-    // Miss: fill an invalid way if any, else evict the LRU way.
-    Way *victim = base;
-    for (int64_t w = 0; w < _config.associativity; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
-        if (base[w].lru < victim->lru)
-            victim = &base[w];
-    }
     if (victim->valid && victim->dirty)
         ++_writebacks;
     victim->valid = true;

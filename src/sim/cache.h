@@ -57,6 +57,8 @@ class Cache
   private:
     CacheConfig _config;
     int64_t _sets;
+    int64_t _assoc;
+    uint64_t _set_mask;
     unsigned _line_shift;
     unsigned _set_shift;
 

@@ -1,0 +1,59 @@
+#include "sim/streaming.h"
+
+#include "support/error.h"
+
+namespace uov {
+
+MultiMachineSim::MultiMachineSim(
+    const std::vector<MachineConfig> &configs)
+{
+    UOV_REQUIRE(!configs.empty(),
+                "streaming simulation needs at least one machine");
+    _systems.reserve(configs.size());
+    for (const MachineConfig &cfg : configs)
+        _systems.push_back(std::make_unique<MemorySystem>(cfg));
+}
+
+MemorySystem &
+MultiMachineSim::system(size_t i)
+{
+    UOV_REQUIRE(i < _systems.size(),
+                "machine index " << i << " out of range");
+    return *_systems[i];
+}
+
+const MemorySystem &
+MultiMachineSim::system(size_t i) const
+{
+    UOV_REQUIRE(i < _systems.size(),
+                "machine index " << i << " out of range");
+    return *_systems[i];
+}
+
+StreamingSim
+MultiMachineSim::policy()
+{
+    StreamingSim p;
+    p.systems.reserve(_systems.size());
+    for (auto &ms : _systems)
+        p.systems.push_back(ms.get());
+    return p;
+}
+
+uint64_t
+MultiMachineSim::eventsProcessed() const
+{
+    uint64_t n = 0;
+    for (const auto &ms : _systems)
+        n += ms->accesses() + ms->branches();
+    return n;
+}
+
+void
+MultiMachineSim::reset()
+{
+    for (auto &ms : _systems)
+        ms->reset();
+}
+
+} // namespace uov

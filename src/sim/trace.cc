@@ -8,34 +8,14 @@
 
 namespace uov {
 
-uint64_t
-Trace::loadCount() const
+void
+Trace::reserve(size_t n)
 {
-    uint64_t n = 0;
-    for (const auto &e : _events)
-        if (e.kind == TraceEvent::Kind::Load)
-            ++n;
-    return n;
-}
-
-uint64_t
-Trace::storeCount() const
-{
-    uint64_t n = 0;
-    for (const auto &e : _events)
-        if (e.kind == TraceEvent::Kind::Store)
-            ++n;
-    return n;
-}
-
-uint64_t
-Trace::branchCount() const
-{
-    uint64_t n = 0;
-    for (const auto &e : _events)
-        if (e.kind == TraceEvent::Kind::Branch)
-            ++n;
-    return n;
+    size_t want = (n + kChunkEvents - 1) / kChunkEvents;
+    while (_chunks.size() < want) {
+        _chunks.emplace_back();
+        _chunks.back().reserve(kChunkEvents);
+    }
 }
 
 uint64_t
@@ -43,29 +23,33 @@ Trace::footprintBytes(int64_t line_bytes) const
 {
     UOV_REQUIRE(line_bytes > 0, "line size must be positive");
     std::unordered_set<uint64_t> lines;
-    for (const auto &e : _events) {
-        if (e.kind != TraceEvent::Kind::Branch)
-            lines.insert(e.addr / static_cast<uint64_t>(line_bytes));
-    }
+    forEach([&](const TraceEvent &e) {
+        TraceEvent::Kind k = e.kind();
+        if (k == TraceEvent::Kind::Load || k == TraceEvent::Kind::Store)
+            lines.insert(e.addr() / static_cast<uint64_t>(line_bytes));
+    });
     return lines.size() * static_cast<uint64_t>(line_bytes);
 }
 
 double
 Trace::replay(MemorySystem &ms) const
 {
-    for (const auto &e : _events) {
-        switch (e.kind) {
+    forEach([&](const TraceEvent &e) {
+        switch (e.kind()) {
           case TraceEvent::Kind::Load:
-            ms.access(e.addr, false);
+            ms.access(e.addr(), false);
             break;
           case TraceEvent::Kind::Store:
-            ms.access(e.addr, true);
+            ms.access(e.addr(), true);
             break;
           case TraceEvent::Kind::Branch:
             ms.branch();
             break;
+          case TraceEvent::Kind::Compute:
+            ms.compute(e.computeCycles());
+            break;
         }
-    }
+    });
     return ms.cycles();
 }
 

@@ -1,0 +1,102 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "support/error.h"
+
+namespace uov {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    _workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _cv.notify_all();
+    for (auto &w : _workers)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        UOV_CHECK(!_stopping, "submit on a stopping ThreadPool");
+        _queue.push_back(std::move(task));
+    }
+    _cv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _cv.wait(lock,
+                     [this] { return _stopping || !_queue.empty(); });
+            if (_queue.empty())
+                return; // stopping and drained
+            task = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        task(); // packaged_task captures any exception in the future
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, size_t chunks,
+                        const std::function<void(size_t, size_t)> &body)
+{
+    if (n == 0)
+        return;
+    chunks = std::min(chunks, n);
+    if (chunks <= 1) {
+        body(0, n);
+        return;
+    }
+    size_t per = (n + chunks - 1) / chunks;
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (size_t c = 0; c < chunks; ++c) {
+        size_t begin = c * per;
+        size_t end = std::min(n, begin + per);
+        if (begin >= end)
+            break;
+        futures.push_back(submit([&body, begin, end] {
+            body(begin, end);
+        }));
+    }
+    std::exception_ptr first;
+    for (auto &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace uov

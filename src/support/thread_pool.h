@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A persistent worker-thread pool with task futures.
+ *
+ * Spawning a std::thread costs tens of microseconds; the wavefront
+ * executor and the scaling benches dispatch thousands of short tasks,
+ * so they share one pool of long-lived workers instead (the classic
+ * work-queue design).  Tasks are arbitrary callables; submit() returns
+ * a std::future for the result, and parallelFor() chunks an index
+ * range and blocks until every chunk is done (the caller's barrier).
+ *
+ * ThreadPool::shared() is the process-wide pool sized to the host's
+ * hardware concurrency; independent pools can still be constructed
+ * for tests or custom sizing.  All public members are safe to call
+ * from multiple threads; tasks must not block on other tasks of the
+ * same pool (no nested waiting), which every caller here respects by
+ * keeping tasks leaf-level.
+ */
+
+#ifndef UOV_SUPPORT_THREAD_POOL_H
+#define UOV_SUPPORT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace uov {
+
+class ThreadPool
+{
+  public:
+    /** Start @p threads workers (0 means hardware concurrency). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(_workers.size()); }
+
+    /**
+     * Enqueue @p fn; the future carries its result (or exception).
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using R = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task] { (*task)(); });
+        return fut;
+    }
+
+    /**
+     * Run body(begin, end) over [0, n) split into at most @p chunks
+     * contiguous ranges; returns when every chunk has finished
+     * (rethrowing the first chunk exception, if any).  With n == 0 or
+     * chunks <= 1 the body runs inline on the caller's thread.
+     */
+    void parallelFor(size_t n, size_t chunks,
+                     const std::function<void(size_t, size_t)> &body);
+
+    /** The process-wide pool (hardware-concurrency workers). */
+    static ThreadPool &shared();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::mutex _mutex;
+    std::condition_variable _cv;
+    std::deque<std::function<void()>> _queue;
+    std::vector<std::thread> _workers;
+    bool _stopping = false;
+};
+
+} // namespace uov
+
+#endif // UOV_SUPPORT_THREAD_POOL_H

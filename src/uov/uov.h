@@ -59,6 +59,7 @@
 #include "kernels/stencil5.h"
 #include "sim/machine.h"
 #include "sim/memory_policy.h"
+#include "sim/streaming.h"
 #include "sim/trace.h"
 
 // Tools.

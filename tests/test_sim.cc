@@ -26,6 +26,41 @@ TEST(CacheModel, ConfigValidation)
     EXPECT_EQ(ok.sets(), 8192 / (32 * 2));
 }
 
+TEST(CacheModel, ValidateRejectionMessages)
+{
+    auto message = [](const CacheConfig &cfg) {
+        try {
+            cfg.validate();
+        } catch (const UovUserError &e) {
+            return std::string(e.what());
+        }
+        return std::string("(no error)");
+    };
+    // Non-power-of-two line size, reported under the config's name.
+    CacheConfig bad_line{"L1X", 8192, 48, 2};
+    EXPECT_NE(message(bad_line).find("line size must be a power of two"),
+              std::string::npos)
+        << message(bad_line);
+    EXPECT_NE(message(bad_line).find("L1X"), std::string::npos);
+    // Sets = 192 / (32*2) = 3: not a power of two.
+    CacheConfig bad_sets{"L2X", 192, 32, 2};
+    EXPECT_NE(message(bad_sets).find("set count must be a power of two"),
+              std::string::npos)
+        << message(bad_sets);
+    // Zero associativity.
+    CacheConfig bad_assoc{"LA", 8192, 32, 0};
+    EXPECT_NE(message(bad_assoc).find("associativity"),
+              std::string::npos);
+    // Size not divisible into whole sets.
+    CacheConfig bad_div{"LD", 100, 32, 2};
+    EXPECT_NE(message(bad_div).find("size must be sets*ways*line"),
+              std::string::npos)
+        << message(bad_div);
+    // A valid geometry passes.
+    CacheConfig ok{"ok", 8192, 32, 2};
+    EXPECT_EQ(message(ok), "(no error)");
+}
+
 TEST(CacheModel, HitsOnRepeatedAccess)
 {
     Cache c({"t", 1024, 32, 2});

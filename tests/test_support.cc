@@ -1,10 +1,13 @@
 /**
  * @file
- * Unit tests for src/support: checked arithmetic, logging, tables, RNG.
+ * Unit tests for src/support: checked arithmetic, logging, tables,
+ * RNG, and the shared worker-thread pool.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <sstream>
 
 #include "support/checked.h"
@@ -12,6 +15,7 @@
 #include "support/logging.h"
 #include "support/rng.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace uov {
 namespace {
@@ -196,6 +200,67 @@ TEST(Format, FormatDoubleFixedPrecision)
 {
     EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
     EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResultsViaFutures)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.size(), 2u);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(1);
+    auto f = pool.submit(
+        []() -> int { throw UovUserError("boom"); });
+    EXPECT_THROW(f.get(), UovUserError);
+    // The worker survives a throwing task.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    const size_t n = 10000;
+    std::vector<std::atomic<int>> touched(n);
+    pool.parallelFor(n, 7, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i)
+            touched[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(touched[i].load(), 1) << i;
+    // Degenerate shapes run inline and still cover everything.
+    std::atomic<size_t> count{0};
+    pool.parallelFor(5, 1, [&](size_t b, size_t e) {
+        count += e - b;
+    });
+    pool.parallelFor(0, 4, [&](size_t, size_t) { count += 1000; });
+    EXPECT_EQ(count.load(), 5u);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsChunkException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(100, 4,
+                                  [](size_t begin, size_t) {
+                                      if (begin == 0)
+                                          throw UovUserError("chunk");
+                                  }),
+                 UovUserError);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsUsableAndStable)
+{
+    ThreadPool &a = ThreadPool::shared();
+    ThreadPool &b = ThreadPool::shared();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.size(), 1u);
+    EXPECT_EQ(a.submit([] { return 42; }).get(), 42);
 }
 
 } // namespace
