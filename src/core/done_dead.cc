@@ -35,12 +35,19 @@ std::vector<IVec>
 DoneDeadAnalysis::enumerateBox(const IVec &lo, const IVec &hi, Pred pred)
 {
     UOV_REQUIRE(lo.dim() == hi.dim() && lo.dim() == stencil().dim(),
-                "box dimension mismatch");
+                "enumeration box [" << lo.str() << ", " << hi.str()
+                                    << "] must match stencil "
+                                    << stencil().str() << " dimension "
+                                    << stencil().dim());
     std::vector<IVec> out;
     IVec p = lo;
     size_t d = lo.dim();
     for (size_t c = 0; c < d; ++c)
-        UOV_REQUIRE(lo[c] <= hi[c], "empty enumeration box");
+        UOV_REQUIRE(lo[c] <= hi[c],
+                    "empty enumeration box [" << lo.str() << ", "
+                                              << hi.str()
+                                              << "]: lo > hi on axis "
+                                              << c);
     for (;;) {
         if (pred(p))
             out.push_back(p);

@@ -14,7 +14,9 @@ bool
 UovOracle::isUov(const IVec &w)
 {
     UOV_REQUIRE(w.dim() == stencil().dim(),
-                "candidate dimension mismatch");
+                "candidate " << w.str() << " has dimension " << w.dim()
+                             << " but stencil " << stencil().str()
+                             << " has dimension " << stencil().dim());
     if (w.isZero())
         return false;
     for (const auto &v : stencil().deps()) {
@@ -35,8 +37,11 @@ UovOracle::certify(const IVec &w)
     const auto &deps = stencil().deps();
     for (size_t i = 0; i < deps.size(); ++i) {
         auto coeffs = _cone.certificate(w - deps[i]);
-        UOV_CHECK(coeffs, "isUov true but certificate missing for row "
-                              << i);
+        UOV_CHECK(coeffs, "isUov(" << w.str()
+                              << ") true but certificate missing for "
+                              << (w - deps[i]).str()
+                              << " = w - " << deps[i].str()
+                              << " over stencil " << stencil().str());
         // Row i is the combination for w with a_ii incremented to
         // account for the v_i we peeled off.
         (*coeffs)[i] += 1;
@@ -45,12 +50,19 @@ UovOracle::certify(const IVec &w)
 
     // Verify every row reconstructs w with a positive diagonal.
     for (size_t i = 0; i < cert.rows.size(); ++i) {
-        UOV_CHECK(cert.rows[i][i] >= 1, "diagonal coefficient must be >= 1");
+        UOV_CHECK(cert.rows[i][i] >= 1,
+                  "certificate for " << w.str() << " over stencil "
+                      << stencil().str() << ": diagonal coefficient "
+                      << cert.rows[i][i] << " for dependence "
+                      << deps[i].str() << " must be >= 1");
         IVec sum(stencil().dim());
         for (size_t j = 0; j < deps.size(); ++j)
             sum += deps[j] * cert.rows[i][j];
-        UOV_CHECK(sum == w, "certificate row " << i << " sums to "
-                                << sum.str() << " != " << w.str());
+        UOV_CHECK(sum == w, "certificate row " << i
+                                << " for dependence " << deps[i].str()
+                                << " over stencil " << stencil().str()
+                                << " sums to " << sum.str() << " != "
+                                << w.str());
     }
     return cert;
 }
@@ -63,7 +75,11 @@ GeneralUovOracle::GeneralUovOracle(Stencil schedule_cone,
                 "array with no consumers needs no storage at all");
     for (const auto &c : _consumers) {
         UOV_REQUIRE(c.dim() == _cone.stencil().dim(),
-                    "consumer dimension mismatch");
+                    "consumer " << c.str() << " has dimension "
+                                << c.dim() << " but schedule cone "
+                                << _cone.stencil().str()
+                                << " has dimension "
+                                << _cone.stencil().dim());
         UOV_REQUIRE(c.isZero() || _cone.stencil().contains(c),
                     "consumer " << c.str()
                         << " is not a schedule dependence; liveness "
@@ -75,7 +91,11 @@ bool
 GeneralUovOracle::isUov(const IVec &w)
 {
     UOV_REQUIRE(w.dim() == _cone.stencil().dim(),
-                "candidate dimension mismatch");
+                "candidate " << w.str() << " has dimension " << w.dim()
+                             << " but schedule cone "
+                             << _cone.stencil().str()
+                             << " has dimension "
+                             << _cone.stencil().dim());
     if (w.isZero())
         return false;
     for (const auto &c : _consumers) {
@@ -89,7 +109,10 @@ IVec
 GeneralUovOracle::searchShortest()
 {
     IVec initial = initialUov();
-    UOV_CHECK(isUov(initial), "initial UOV must be safe");
+    UOV_CHECK(isUov(initial),
+              "initial UOV " << initial.str()
+                             << " must be safe for schedule cone "
+                             << _cone.stencil().str());
     int64_t best_sq = initial.normSquared();
     IVec best = initial;
     auto radius = static_cast<int64_t>(
@@ -126,12 +149,16 @@ ovLegalForLinearSchedule(const IVec &h, const IVec &ov,
                          const Stencil &stencil)
 {
     UOV_REQUIRE(h.dim() == stencil.dim() && ov.dim() == stencil.dim(),
-                "dimension mismatch");
+                "schedule vector " << h.str() << " and OV " << ov.str()
+                                   << " must match stencil "
+                                   << stencil.str() << " dimension "
+                                   << stencil.dim());
     for (const auto &v : stencil.deps())
         UOV_REQUIRE(h.dot(v) > 0,
                     "h is not a legal schedule vector: h." << v.str()
                         << " <= 0");
-    UOV_REQUIRE(!ov.isZero(), "zero occupancy vector");
+    UOV_REQUIRE(!ov.isZero(), "zero occupancy vector for stencil "
+                                  << stencil.str());
 
     int64_t h_ov = h.dot(ov);
     for (const auto &v : stencil.deps()) {
@@ -149,7 +176,10 @@ findSharedUov(const std::vector<Stencil> &stencils)
     UOV_REQUIRE(!stencils.empty(), "no stencils given");
     size_t d = stencils[0].dim();
     for (const auto &s : stencils)
-        UOV_REQUIRE(s.dim() == d, "stencil dimension mismatch");
+        UOV_REQUIRE(s.dim() == d, "stencil " << s.str()
+                                      << " has dimension " << s.dim()
+                                      << " but the first stencil has "
+                                      << d);
 
     std::vector<UovOracle> oracles;
     oracles.reserve(stencils.size());

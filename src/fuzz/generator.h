@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic random-input generators for the differential fuzzing
+ * harness (src/fuzz/).
+ *
+ * Every generator consumes a SplitMix64 stream and nothing else, so a
+ * case is fully reproducible from its seed: the same seed regenerates
+ * the same stencil, nest, ISG box, candidate vectors, and legal
+ * schedules on any platform.  Sizes are kept deliberately small (the
+ * oracles cross-check against exhaustive enumerations that are
+ * exponential in dimension and radius); the knobs in GenOptions bound
+ * every dimension of the input space.
+ */
+
+#ifndef UOV_FUZZ_GENERATOR_H
+#define UOV_FUZZ_GENERATOR_H
+
+#include <memory>
+#include <vector>
+
+#include "core/stencil.h"
+#include "geometry/ivec.h"
+#include "ir/program.h"
+#include "schedule/schedule.h"
+#include "support/rng.h"
+
+namespace uov {
+namespace fuzz {
+
+/** Bounds on generated inputs. */
+struct GenOptions
+{
+    size_t min_dim = 2;       ///< loop-nest depth lower bound
+    size_t max_dim = 3;       ///< loop-nest depth upper bound
+    size_t max_deps = 4;      ///< stencil vectors per statement
+    int64_t max_coord = 3;    ///< |coordinate| bound on dependences
+    int64_t min_box_side = 4; ///< ISG box edge length lower bound
+    int64_t max_box_side = 7; ///< ISG box edge length upper bound
+    size_t max_statements = 3; ///< statements per generated nest
+};
+
+/**
+ * Random valid stencil: 1..max_deps distinct lexicographically
+ * positive vectors of one dimension drawn from [min_dim, max_dim].
+ * Every coordinate is bounded by max_coord, and dimension 0 is kept
+ * non-negative so generated stencils always admit the exact positive
+ * functional (ConeSolver's fast path) -- pathological functional-free
+ * stencils are covered by dedicated unit tests, not the fuzzer.
+ */
+Stencil randomStencil(SplitMix64 &rng, const GenOptions &opt = {});
+
+/** Random stencil of a specific dimension (same distribution). */
+Stencil randomStencilDim(SplitMix64 &rng, size_t dim,
+                         const GenOptions &opt = {});
+
+/**
+ * Random candidate occupancy vector for membership queries: drawn
+ * from the cube |w_c| <= radius, biased toward the interesting shell
+ * (near-zero and near-initial-UOV candidates are where the oracles
+ * disagree when they disagree at all).  May be zero or non-UOV on
+ * purpose -- the oracles must agree on rejections too.
+ */
+IVec randomCandidate(SplitMix64 &rng, size_t dim, int64_t radius);
+
+/** Random ISG box [lo, hi] with side lengths from GenOptions. */
+void randomIsgBox(SplitMix64 &rng, size_t dim, const GenOptions &opt,
+                  IVec &lo, IVec &hi);
+
+/**
+ * Random loop nest in the parser's program class: 1..max_statements
+ * statements, each with one uniform write and 1..max_deps uniform
+ * reads of its own array (offsets -v for lex-positive v, so statement
+ * 0 always carries a regular flow stencil).  Names, bounds, and
+ * offsets are all drawn from the rng; the result round-trips through
+ * formatNest/parseNest by construction of the IR, which is exactly
+ * the property test_nest_parser.cc checks on 1k of these.
+ */
+LoopNest randomNest(SplitMix64 &rng, const GenOptions &opt = {});
+
+/**
+ * Random *legal* schedule for @p stencil: one of
+ *  - a random topological order of the dependence graph (always
+ *    legal, adversarial tie-breaking),
+ *  - a legal loop permutation (falls back to identity),
+ *  - a legal wavefront h (perturbed positive functional),
+ *  - a skewed rectangular tiling when the stencil admits the
+ *    canonical skew (every dependence advances dimension 0).
+ * The choice itself is part of the random stream.  Legality is the
+ * generator's contract; tests verify it with the empirical oracle.
+ *
+ * With @p cone_safe the topological-order arm is replaced by a legal
+ * wavefront (or program order).  An in-box topological order respects
+ * only the dependence edges whose endpoints both land in the ISG box;
+ * near the boundary, a forcing chain q <- q-v_i <- ... <- p+v_j can
+ * pass through points *outside* the box, and then the topo order may
+ * run q before p's last consumer even though q - p is in the
+ * dependence cone.  UOV storage reuse (cells shared along q - p = ov)
+ * is only guaranteed safe for schedules that respect the full cone
+ * precedence -- which every affine family here does: sums of
+ * lexicographically positive vectors stay lexicographically positive,
+ * so cone differences order consistently under permutation, wavefront,
+ * and legal tilings.  Oracles that execute with OV storage must pass
+ * cone_safe = true; discovered by this fuzzer (see DESIGN.md).
+ */
+std::unique_ptr<Schedule> randomLegalSchedule(SplitMix64 &rng,
+                                              const Stencil &stencil,
+                                              bool cone_safe = false);
+
+} // namespace fuzz
+} // namespace uov
+
+#endif // UOV_FUZZ_GENERATOR_H

@@ -1,0 +1,581 @@
+#include "fuzz/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "analysis/dependence.h"
+#include "core/cone.h"
+#include "core/done_dead.h"
+#include "core/search.h"
+#include "core/storage_count.h"
+#include "core/uov.h"
+#include "geometry/polyhedron.h"
+#include "kernels/psm.h"
+#include "kernels/stencil5.h"
+#include "mapping/storage_mapping.h"
+#include "schedule/executor.h"
+#include "sim/streaming.h"
+#include "sim/trace.h"
+#include "support/error.h"
+
+namespace uov {
+namespace fuzz {
+
+namespace {
+
+/** Enumerate every integer point of [lo, hi]; stop when f is false. */
+template <typename Fn>
+void
+forEachBoxPoint(const IVec &lo, const IVec &hi, Fn f)
+{
+    IVec p = lo;
+    size_t d = lo.dim();
+    for (;;) {
+        if (!f(p))
+            return;
+        size_t c = d;
+        while (c-- > 0) {
+            if (p[c] < hi[c]) {
+                ++p[c];
+                break;
+            }
+            p[c] = lo[c];
+            if (c == 0)
+                return;
+        }
+    }
+}
+
+std::string
+vecsStr(const std::vector<IVec> &vs)
+{
+    std::string s = "{";
+    for (size_t i = 0; i < vs.size(); ++i)
+        s += (i ? ", " : "") + vs[i].str();
+    return s + "}";
+}
+
+} // namespace
+
+bool
+FuzzCase::valid() const
+{
+    if (deps.empty())
+        return false;
+    try {
+        Stencil s(deps);
+        if (lo.dim() != s.dim() || hi.dim() != s.dim())
+            return false;
+    } catch (const UovError &) {
+        return false;
+    }
+    for (size_t c = 0; c < lo.dim(); ++c)
+        if (lo[c] > hi[c])
+            return false;
+    return true;
+}
+
+std::string
+FuzzCase::str() const
+{
+    std::ostringstream oss;
+    oss << "seed=" << seed << " deps=" << vecsStr(deps)
+        << " candidates=" << vecsStr(candidates) << " box=["
+        << lo.str() << ", " << hi.str() << "]";
+    return oss.str();
+}
+
+FuzzCase
+makeCase(uint64_t case_seed, const GenOptions &opt)
+{
+    SplitMix64 rng(case_seed);
+    Stencil s = randomStencil(rng, opt);
+
+    FuzzCase c;
+    c.seed = case_seed;
+    c.deps = s.deps();
+    randomIsgBox(rng, s.dim(), opt, c.lo, c.hi);
+
+    int64_t radius =
+        std::min<int64_t>(s.initialUov().normInf() + 1, 6);
+    for (int k = 0; k < 4; ++k)
+        c.candidates.push_back(randomCandidate(rng, s.dim(), radius));
+    // Always probe the two structurally interesting points: the
+    // guaranteed UOV and a raw dependence (usually not one).
+    c.candidates.push_back(s.initialUov());
+    c.candidates.push_back(s.dep(rng.nextBelow(s.size())));
+    return c;
+}
+
+FuzzCase
+caseFromNest(const LoopNest &nest)
+{
+    Stencil s = extractStencil(nest, 0);
+
+    FuzzCase c;
+    c.deps = s.deps();
+    // Clamp the box so exhaustive cross-checks stay cheap even for
+    // production-sized corpus nests.
+    std::vector<int64_t> lo(s.dim()), hi(s.dim());
+    for (size_t k = 0; k < s.dim(); ++k) {
+        lo[k] = nest.lo()[k];
+        hi[k] = std::min(nest.hi()[k], nest.lo()[k] + 7);
+    }
+    c.lo = IVec(std::move(lo));
+    c.hi = IVec(std::move(hi));
+
+    SplitMix64 rng(0x5EEDC0FFEEULL + s.size());
+    int64_t radius =
+        std::min<int64_t>(s.initialUov().normInf() + 1, 6);
+    for (int k = 0; k < 3; ++k)
+        c.candidates.push_back(randomCandidate(rng, s.dim(), radius));
+    c.candidates.push_back(s.initialUov());
+    for (const auto &v : s.deps())
+        c.candidates.push_back(v);
+    return c;
+}
+
+std::optional<bool>
+bruteForceConeContains(const Stencil &stencil, const IVec &target)
+{
+    auto h = stencil.positiveFunctional();
+    if (!h)
+        return std::nullopt;
+    if (target.isZero())
+        return true;
+    int64_t ht = h->dot(target);
+    if (ht <= 0)
+        return false;
+
+    // Forward closure: grow the cone from the origin one generator at
+    // a time, never past the target's h-level.  Every step raises h
+    // by at least 1, so the closure is finite and its size is bounded
+    // by the lattice points of the cone slice h . p <= ht.
+    constexpr size_t kMaxClosure = 500'000;
+    std::unordered_set<IVec, IVecHash> seen;
+    std::vector<IVec> frontier{IVec(stencil.dim())};
+    seen.insert(frontier.front());
+    while (!frontier.empty()) {
+        std::vector<IVec> next;
+        for (const auto &p : frontier) {
+            for (const auto &v : stencil.deps()) {
+                IVec q = p + v;
+                if (h->dot(q) > ht)
+                    continue;
+                if (q == target)
+                    return true;
+                if (seen.insert(q).second)
+                    next.push_back(q);
+            }
+        }
+        if (seen.size() > kMaxClosure)
+            return std::nullopt; // too big to decide independently
+        frontier = std::move(next);
+    }
+    return false;
+}
+
+OracleVerdict
+checkMembership(const FuzzCase &c)
+{
+    Stencil s = c.stencil();
+    UovOracle oracle(s);
+    ConeSolver solver(s);
+    DoneDeadAnalysis dd(s);
+    IVec origin(s.dim());
+
+    for (const auto &w : c.candidates) {
+        if (w.dim() != s.dim())
+            continue;
+
+        // Cone membership: memoized backward search vs forward
+        // closure vs coefficient certificate.
+        bool in_cone = solver.contains(w);
+        auto bf = bruteForceConeContains(s, w);
+        if (bf && *bf != in_cone) {
+            return "cone membership of " + w.str() + " over " +
+                   s.str() + ": ConeSolver says " +
+                   (in_cone ? "yes" : "no") +
+                   ", forward closure says the opposite";
+        }
+        auto coeffs = solver.certificate(w);
+        if (coeffs.has_value() != in_cone)
+            return "certificate existence for " + w.str() + " over " +
+                   s.str() + " disagrees with membership";
+        if (coeffs) {
+            IVec sum(s.dim());
+            for (size_t i = 0; i < coeffs->size(); ++i) {
+                if ((*coeffs)[i] < 0)
+                    return "negative certificate coefficient for " +
+                           w.str() + " over " + s.str();
+                sum += s.dep(i) * (*coeffs)[i];
+            }
+            if (sum != w)
+                return "certificate for " + w.str() + " over " +
+                       s.str() + " sums to " + sum.str();
+        }
+
+        // UOV membership: oracle vs DEAD-set definition at two
+        // different q (the paper's q-independence) vs brute force.
+        bool is_uov = oracle.isUov(w);
+        bool dead_at_origin = dd.isDead(origin, origin - w);
+        bool dead_at_hi = dd.isDead(c.hi, c.hi - w);
+        if (dead_at_origin != dead_at_hi)
+            return "DEAD-set q-independence violated for " + w.str() +
+                   " over " + s.str() + ": q=0 says " +
+                   (dead_at_origin ? "dead" : "live") + ", q=" +
+                   c.hi.str() + " disagrees";
+        if (dead_at_origin != is_uov)
+            return "isUov(" + w.str() + ") = " +
+                   (is_uov ? "true" : "false") + " over " + s.str() +
+                   " but q - w in DEAD(V, q) says the opposite";
+
+        bool brute_ok = true, brute_known = true;
+        if (w.isZero()) {
+            brute_ok = false;
+        } else {
+            for (const auto &v : s.deps()) {
+                auto m = bruteForceConeContains(s, w - v);
+                if (!m) {
+                    brute_known = false;
+                    break;
+                }
+                if (!*m) {
+                    brute_ok = false;
+                    break;
+                }
+            }
+        }
+        if (brute_known && brute_ok != is_uov)
+            return "isUov(" + w.str() + ") over " + s.str() +
+                   " contradicts the forward-closure brute force";
+
+        // Full certificate: existence iff membership, every row an
+        // independent witness.
+        auto cert = oracle.certify(w);
+        if (cert.has_value() != is_uov)
+            return "certify(" + w.str() + ") existence over " +
+                   s.str() + " disagrees with isUov";
+        if (cert) {
+            for (size_t i = 0; i < cert->rows.size(); ++i) {
+                const auto &row = cert->rows[i];
+                if (row.size() != s.size() || row[i] < 1)
+                    return "certificate row " + std::to_string(i) +
+                           " for " + w.str() + " over " + s.str() +
+                           " lacks the required diagonal a_ii >= 1";
+                IVec sum(s.dim());
+                for (size_t j = 0; j < row.size(); ++j) {
+                    if (row[j] < 0)
+                        return "negative coefficient in certificate "
+                               "row " +
+                               std::to_string(i) + " for " + w.str() +
+                               " over " + s.str();
+                    sum += s.dep(j) * row[j];
+                }
+                if (sum != w)
+                    return "certificate row " + std::to_string(i) +
+                           " for " + w.str() + " over " + s.str() +
+                           " sums to " + sum.str();
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+OracleVerdict
+checkSearch(const FuzzCase &c)
+{
+    Stencil s = c.stencil();
+    Polyhedron isg = Polyhedron::box(c.lo, c.hi);
+    UovOracle oracle(s);
+
+    for (SearchObjective obj : {SearchObjective::ShortestVector,
+                                SearchObjective::BoundedStorage}) {
+        const char *obj_name = obj == SearchObjective::ShortestVector
+                                   ? "shortest"
+                                   : "storage";
+        SearchOptions base;
+        if (obj == SearchObjective::BoundedStorage)
+            base.isg = isg;
+
+        // Size the search region before running anything: the
+        // known-bounds radius can explode on unlucky boxes (P_ovo/P_M
+        // in the hundreds), and the ablations explore the whole ball.
+        // Small ball: let every run finish and compare all four
+        // implementations exactly.  Large ball: run with a small visit
+        // cap and check only the anytime properties (each result is a
+        // genuine UOV no worse than the initial one) -- capped runs
+        // are allowed to disagree on the optimum.
+        IVec initial = s.initialUov();
+        int64_t radius_sq =
+            obj == SearchObjective::ShortestVector
+                ? initial.normSquared()
+                : knownBoundsRadiusSquared(initial, isg);
+        auto radius = static_cast<int64_t>(std::sqrt(
+                          static_cast<double>(radius_sq))) +
+                      1;
+        double ball = 1;
+        for (size_t k = 0; k < s.dim(); ++k)
+            ball *= static_cast<double>(2 * radius + 1);
+        bool small_ball = ball <= 40'000;
+        if (!small_ball)
+            base.max_visits = 2'000;
+
+        SearchOptions fifo = base;
+        fifo.use_priority_queue = false;
+        SearchOptions noshrink = base;
+        noshrink.disable_bound_shrinking = true;
+
+        SearchResult bb = BranchBoundSearch(s, obj, base).run();
+        SearchResult ff = BranchBoundSearch(s, obj, fifo).run();
+        SearchResult ns = BranchBoundSearch(s, obj, noshrink).run();
+
+        for (const auto *r : {&bb, &ff, &ns}) {
+            if (!oracle.isUov(r->best_uov))
+                return std::string(obj_name) + " search over " +
+                       s.str() + " returned non-universal " +
+                       r->best_uov.str();
+            if (r->best_objective > r->initial_objective)
+                return std::string(obj_name) + " search over " +
+                       s.str() + " ended worse than the initial UOV";
+        }
+        if (!small_ball || bb.stats.hit_visit_cap ||
+            ff.stats.hit_visit_cap || ns.stats.hit_visit_cap)
+            continue;
+        if (ff.best_objective != bb.best_objective)
+            return std::string(obj_name) + " FIFO ablation over " +
+                   s.str() + " found objective " +
+                   std::to_string(ff.best_objective) +
+                   " != priority-queue " +
+                   std::to_string(bb.best_objective);
+        if (ns.best_objective != bb.best_objective)
+            return std::string(obj_name) +
+                   " no-shrink ablation over " + s.str() +
+                   " found objective " +
+                   std::to_string(ns.best_objective) + " != default " +
+                   std::to_string(bb.best_objective);
+
+        // Exhaustive reference over the same (small) ball.
+        SearchResult ex = exhaustiveUovSearch(s, obj, base);
+        if (ex.best_objective != bb.best_objective)
+            return std::string(obj_name) +
+                   " branch-and-bound over " + s.str() +
+                   " found objective " +
+                   std::to_string(bb.best_objective) +
+                   " but exhaustive ball search found " +
+                   std::to_string(ex.best_objective) + " (" +
+                   ex.best_uov.str() + ")";
+    }
+    return std::nullopt;
+}
+
+OracleVerdict
+checkMapping(const FuzzCase &c)
+{
+    Stencil s = c.stencil();
+    Polyhedron isg = Polyhedron::box(c.lo, c.hi);
+
+    SearchResult bb =
+        BranchBoundSearch(s, SearchObjective::ShortestVector).run();
+    std::vector<IVec> ovs{bb.best_uov};
+    if (s.initialUov() != bb.best_uov)
+        ovs.push_back(s.initialUov());
+
+    for (const auto &ov : ovs) {
+        for (ModLayout layout :
+             {ModLayout::Interleaved, ModLayout::Blocked}) {
+            StorageMapping sm = StorageMapping::create(ov, isg, layout);
+            std::string bad;
+            forEachBoxPoint(c.lo, c.hi, [&](const IVec &q) {
+                int64_t i = sm(q);
+                if (i < 0 || i >= sm.cellCount()) {
+                    bad = "SM(" + q.str() + ") = " +
+                          std::to_string(i) + " outside [0, " +
+                          std::to_string(sm.cellCount()) + ")";
+                    return false;
+                }
+                if (sm(q + ov) != i) {
+                    bad = "SM not ov-periodic at " + q.str();
+                    return false;
+                }
+                return true;
+            });
+            if (!bad.empty())
+                return "mapping for ov " + ov.str() + " over " +
+                       s.str() + " box [" + c.lo.str() + ", " +
+                       c.hi.str() + "]: " + bad;
+        }
+
+        // Execute under random legal schedules with writer-tracked
+        // storage: a UOV may never let a live value be overwritten.
+        // cone_safe: the UOV guarantee covers schedules respecting the
+        // full dependence-cone precedence; an in-box topological order
+        // is weaker near the ISG boundary (forcing chains can exit the
+        // box) and genuinely clobbers live values -- this fuzzer found
+        // 2-dependence repros (see examples/corpus/boundary_topo.nest).
+        StencilComputation comp(s);
+        SplitMix64 rng(c.seed ^ 0x9e3779b97f4a7c15ULL);
+        for (int j = 0; j < 3; ++j) {
+            auto sched = randomLegalSchedule(rng, s, /*cone_safe=*/true);
+            for (ModLayout layout :
+                 {ModLayout::Interleaved, ModLayout::Blocked}) {
+                ExecutionResult r = runWithOvStorage(
+                    comp, *sched, c.lo, c.hi, ov, layout);
+                if (!r.correct() || r.clobbers != 0)
+                    return "ov " + ov.str() + " over " + s.str() +
+                           " under schedule " + sched->name() +
+                           " box [" + c.lo.str() + ", " + c.hi.str() +
+                           "]: " + std::to_string(r.mismatches) +
+                           " mismatches, " +
+                           std::to_string(r.clobbers) + " clobbers";
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+namespace {
+
+/** Compare every observable statistic of two memory systems. */
+OracleVerdict
+diffStats(const MemorySystem &a, const MemorySystem &b,
+          const std::string &label)
+{
+    std::ostringstream oss;
+    auto miss = [&](const char *what, auto x, auto y) {
+        oss << label << ": " << what << " " << x << " != " << y;
+        return oss.str();
+    };
+    if (a.accesses() != b.accesses())
+        return miss("accesses", a.accesses(), b.accesses());
+    if (a.branches() != b.branches())
+        return miss("branches", a.branches(), b.branches());
+    if (a.pageFaults() != b.pageFaults())
+        return miss("page faults", a.pageFaults(), b.pageFaults());
+    if (a.tlb().misses() != b.tlb().misses())
+        return miss("TLB misses", a.tlb().misses(), b.tlb().misses());
+    auto level = [&](const Cache *x, const Cache *y,
+                     const char *name) -> OracleVerdict {
+        if ((x == nullptr) != (y == nullptr))
+            return miss(name, x ? "present" : "absent",
+                        y ? "present" : "absent");
+        if (!x)
+            return std::nullopt;
+        if (x->hits() != y->hits())
+            return miss(name, x->hits(), y->hits());
+        if (x->misses() != y->misses())
+            return miss(name, x->misses(), y->misses());
+        if (x->writebacks() != y->writebacks())
+            return miss(name, x->writebacks(), y->writebacks());
+        return std::nullopt;
+    };
+    if (auto v = level(&a.l1(), &b.l1(), "L1"))
+        return v;
+    if (auto v = level(&a.l2(), &b.l2(), "L2"))
+        return v;
+    if (auto v = level(a.l3(), b.l3(), "L3"))
+        return v;
+    // Bit-identical cycle accounting, not approximate.
+    if (a.cycles() != b.cycles())
+        return miss("cycles", a.cycles(), b.cycles());
+    return std::nullopt;
+}
+
+/** Fused vs record-then-replay vs direct, for one kernel closure. */
+template <typename RunKernel>
+OracleVerdict
+diffStreaming(const std::string &label, RunKernel run)
+{
+    std::vector<MachineConfig> machines{MachineConfig::pentiumPro(),
+                                        MachineConfig::ultra2(),
+                                        MachineConfig::alpha21164()};
+
+    MultiMachineSim fused(machines);
+    double fused_result;
+    {
+        StreamingSim mem = fused.policy();
+        VirtualArena arena;
+        fused_result = run(mem, arena);
+    }
+
+    Trace trace;
+    double traced_result;
+    {
+        VirtualArena arena;
+        TracingMem mem{&trace, 0};
+        traced_result = run(mem, arena);
+    }
+    if (fused_result != traced_result)
+        return label + ": fused kernel result " +
+               std::to_string(fused_result) +
+               " != traced kernel result " +
+               std::to_string(traced_result);
+
+    for (size_t m = 0; m < machines.size(); ++m) {
+        MemorySystem replayed(machines[m]);
+        trace.replay(replayed);
+        if (auto v = diffStats(fused.system(m), replayed,
+                               label + " fused-vs-replay on " +
+                                   machines[m].name))
+            return v;
+
+        MemorySystem direct(machines[m]);
+        double direct_result;
+        {
+            SimMem mem{&direct};
+            VirtualArena arena;
+            direct_result = run(mem, arena);
+        }
+        if (direct_result != fused_result)
+            return label + ": direct SimMem result differs on " +
+                   machines[m].name;
+        if (auto v = diffStats(fused.system(m), direct,
+                               label + " fused-vs-direct on " +
+                                   machines[m].name))
+            return v;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+OracleVerdict
+checkStreaming(uint64_t case_seed)
+{
+    SplitMix64 rng(case_seed);
+    if (rng.nextBelow(2) == 0) {
+        Stencil5Config cfg;
+        cfg.length = 8 + static_cast<int64_t>(rng.nextBelow(57));
+        cfg.steps = 1 + static_cast<int64_t>(rng.nextBelow(8));
+        cfg.tile_t = 1 + static_cast<int64_t>(rng.nextBelow(8));
+        cfg.tile_s = 4 + static_cast<int64_t>(rng.nextBelow(61));
+        const auto &variants = allStencil5Variants();
+        Stencil5Variant v = variants[rng.nextBelow(variants.size())];
+        std::string label = "stencil5/" +
+                            std::string(stencil5VariantName(v)) +
+                            " L=" + std::to_string(cfg.length) +
+                            " T=" + std::to_string(cfg.steps);
+        return diffStreaming(label, [&](auto &mem, auto &arena) {
+            return runStencil5(v, cfg, mem, arena);
+        });
+    }
+
+    PsmConfig cfg;
+    cfg.n0 = 8 + static_cast<int64_t>(rng.nextBelow(33));
+    cfg.n1 = 8 + static_cast<int64_t>(rng.nextBelow(33));
+    cfg.tile_i = 4 + static_cast<int64_t>(rng.nextBelow(29));
+    cfg.tile_j = 4 + static_cast<int64_t>(rng.nextBelow(29));
+    const auto &variants = allPsmVariants();
+    PsmVariant v = variants[rng.nextBelow(variants.size())];
+    std::string label = "psm/" + std::string(psmVariantName(v)) +
+                        " n0=" + std::to_string(cfg.n0) +
+                        " n1=" + std::to_string(cfg.n1);
+    return diffStreaming(label, [&](auto &mem, auto &arena) {
+        return runPsm(v, cfg, mem, arena);
+    });
+}
+
+} // namespace fuzz
+} // namespace uov

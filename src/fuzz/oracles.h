@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Differential oracles: every answer the system produces, recomputed
+ * a second (and third) way, on inputs nobody hand-picked.
+ *
+ * The paper's claims are equivalences, so each oracle cross-checks
+ * independent implementations of the same mathematical object and
+ * reports the first disagreement as a human-readable discrepancy:
+ *
+ *  - Membership: UovOracle::isUov vs a forward-closure brute-force
+ *    cone enumeration vs DONE/DEAD (UOV(V) = { q - p | p in
+ *    DEAD(V, q) }) vs independent certificate re-verification.
+ *  - Search: branch-and-bound vs exhaustive ball search, for both
+ *    objectives, and vs the FIFO / no-bound-shrinking ablations.
+ *  - Mapping: OV/modular storage mappings executed under random legal
+ *    schedules with writer-tracked storage -- no live value may be
+ *    overwritten, for both mod-class layouts.
+ *  - Streaming: fused StreamingSim vs record-then-replay vs a direct
+ *    SimMem run on fuzzed kernel configurations, all statistics
+ *    bit-identical.
+ *
+ * An oracle returns std::nullopt when every cross-check agrees, or a
+ * description of the first discrepancy.  Exceptions escaping an
+ * oracle are also bugs (the harness catches and reports them).
+ */
+
+#ifndef UOV_FUZZ_ORACLES_H
+#define UOV_FUZZ_ORACLES_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/stencil.h"
+#include "fuzz/generator.h"
+#include "geometry/ivec.h"
+
+namespace uov {
+namespace fuzz {
+
+/**
+ * One reproducible stencil-shaped fuzz input.  Dependences are stored
+ * as a raw vector (not a Stencil) so the shrinker can propose
+ * mutations and validate them by attempted construction.
+ */
+struct FuzzCase
+{
+    uint64_t seed = 0;          ///< case seed (0 for corpus cases)
+    std::vector<IVec> deps;     ///< stencil dependence vectors
+    std::vector<IVec> candidates; ///< membership candidates
+    IVec lo;                    ///< ISG box low corner
+    IVec hi;                    ///< ISG box high corner
+
+    /** Construct the stencil. @throws UovUserError when invalid */
+    Stencil stencil() const { return Stencil(deps); }
+
+    /** True iff deps form a valid stencil and the box is non-empty. */
+    bool valid() const;
+
+    std::string str() const;
+};
+
+/** Regenerate the case a seed denotes (the repro contract). */
+FuzzCase makeCase(uint64_t case_seed, const GenOptions &opt = {});
+
+/** Build a case from a parsed nest (corpus replay; seed stays 0). */
+FuzzCase caseFromNest(const LoopNest &nest);
+
+/** A discrepancy description, or nullopt when all checks agree. */
+using OracleVerdict = std::optional<std::string>;
+
+OracleVerdict checkMembership(const FuzzCase &c);
+OracleVerdict checkSearch(const FuzzCase &c);
+OracleVerdict checkMapping(const FuzzCase &c);
+
+/**
+ * The streaming oracle draws its own kernel configuration (stencil5
+ * or PSM, sizes, variant) from the seed; it has no stencil-shaped
+ * input to shrink.
+ */
+OracleVerdict checkStreaming(uint64_t case_seed);
+
+/**
+ * Independent reference for non-negative integer cone membership:
+ * forward closure from the origin over h-levels of the positive
+ * functional (a different algorithm from ConeSolver's memoized
+ * backward search).  nullopt when the stencil has no exact positive
+ * functional (the closure cannot be bounded).
+ */
+std::optional<bool> bruteForceConeContains(const Stencil &stencil,
+                                           const IVec &target);
+
+} // namespace fuzz
+} // namespace uov
+
+#endif // UOV_FUZZ_ORACLES_H

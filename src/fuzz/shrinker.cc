@@ -1,0 +1,209 @@
+#include "fuzz/shrinker.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace uov {
+namespace fuzz {
+
+namespace {
+
+/** Does the mutated case still describe a legal input? */
+bool
+usable(const FuzzCase &c)
+{
+    return c.valid();
+}
+
+/**
+ * Propose @p mutated; accept it into @p current when it is legal and
+ * still failing.  Returns true on acceptance.
+ */
+bool
+tryAccept(FuzzCase &current, FuzzCase mutated,
+          const FailPredicate &fails, ShrinkStats &stats)
+{
+    ++stats.attempts;
+    if (!usable(mutated))
+        return false;
+    bool still_fails;
+    try {
+        still_fails = fails(mutated);
+    } catch (const UovError &) {
+        // An oracle that *throws* on the smaller input is still a
+        // failure worth reporting, but a different one; keep the
+        // shrink focused on the original discrepancy.
+        still_fails = false;
+    }
+    if (!still_fails)
+        return false;
+    current = std::move(mutated);
+    ++stats.accepted;
+    return true;
+}
+
+/** Values to try in place of coordinate @p x, in shrink order. */
+std::vector<int64_t>
+shrinkTargets(int64_t x)
+{
+    std::vector<int64_t> out;
+    if (x == 0)
+        return out;
+    out.push_back(0);
+    if (std::abs(x) > 1)
+        out.push_back(x / 2);
+    out.push_back(x > 0 ? x - 1 : x + 1);
+    return out;
+}
+
+} // namespace
+
+FuzzCase
+shrinkCase(const FuzzCase &failing, const FailPredicate &fails,
+           ShrinkStats *stats_out)
+{
+    ShrinkStats stats;
+    FuzzCase cur = failing;
+    if (!usable(cur) || !fails(cur)) {
+        if (stats_out)
+            *stats_out = stats;
+        return cur;
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++stats.rounds;
+
+        // Pass 1: drop whole dependence vectors.
+        for (size_t i = 0; i < cur.deps.size() && cur.deps.size() > 1;) {
+            FuzzCase m = cur;
+            m.deps.erase(m.deps.begin() +
+                         static_cast<ptrdiff_t>(i));
+            if (tryAccept(cur, std::move(m), fails, stats))
+                changed = true;
+            else
+                ++i;
+        }
+
+        // Pass 2: pull dependence coordinates toward zero.
+        for (size_t i = 0; i < cur.deps.size(); ++i) {
+            for (size_t k = 0; k < cur.deps[i].dim(); ++k) {
+                for (int64_t t : shrinkTargets(cur.deps[i][k])) {
+                    FuzzCase m = cur;
+                    m.deps[i][k] = t;
+                    if (tryAccept(cur, std::move(m), fails, stats)) {
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Pass 3: drop membership candidates.
+        for (size_t i = 0;
+             i < cur.candidates.size() && cur.candidates.size() > 1;) {
+            FuzzCase m = cur;
+            m.candidates.erase(m.candidates.begin() +
+                               static_cast<ptrdiff_t>(i));
+            if (tryAccept(cur, std::move(m), fails, stats))
+                changed = true;
+            else
+                ++i;
+        }
+
+        // Pass 4: pull candidate coordinates toward zero.
+        for (size_t i = 0; i < cur.candidates.size(); ++i) {
+            for (size_t k = 0; k < cur.candidates[i].dim(); ++k) {
+                for (int64_t t : shrinkTargets(cur.candidates[i][k])) {
+                    FuzzCase m = cur;
+                    m.candidates[i][k] = t;
+                    if (tryAccept(cur, std::move(m), fails, stats)) {
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Pass 5: collapse the ISG box (halve each side, then pull
+        // the low corner toward the origin).
+        for (size_t k = 0; k < cur.lo.dim(); ++k) {
+            int64_t side = cur.hi[k] - cur.lo[k];
+            if (side > 0) {
+                FuzzCase m = cur;
+                m.hi[k] = m.lo[k] + side / 2;
+                if (tryAccept(cur, std::move(m), fails, stats))
+                    changed = true;
+            }
+            for (int64_t t : shrinkTargets(cur.lo[k])) {
+                FuzzCase m = cur;
+                m.hi[k] += t - m.lo[k];
+                m.lo[k] = t;
+                if (tryAccept(cur, std::move(m), fails, stats)) {
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    if (stats_out)
+        *stats_out = stats;
+    return cur;
+}
+
+std::string
+caseToNestText(const FuzzCase &c)
+{
+    std::ostringstream oss;
+    oss << "nest shrunk" << (c.seed ? std::to_string(c.seed) : "")
+        << "\n";
+    oss << "bounds";
+    for (size_t k = 0; k < c.lo.dim(); ++k)
+        oss << " " << c.lo[k] << ".." << c.hi[k];
+    oss << "\n";
+    oss << "statement A\n";
+    auto emit = [&](const IVec &off) {
+        oss << "A[";
+        for (size_t k = 0; k < off.dim(); ++k)
+            oss << (k ? "," : "") << off[k];
+        oss << "]";
+    };
+    oss << "  write ";
+    emit(IVec(c.lo.dim()));
+    oss << "\n";
+    // A read at offset -v carries value-dependence distance v.
+    for (const auto &v : c.deps) {
+        oss << "  read  ";
+        emit(-v);
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+reproString(const FuzzCase &c, const std::string &oracle,
+            const std::string &detail)
+{
+    std::ostringstream oss;
+    oss << "# ---- uovfuzz repro ----\n";
+    oss << "# oracle: " << oracle << "\n";
+    oss << "# discrepancy: " << detail << "\n";
+    if (c.seed)
+        oss << "# replay exactly: uovfuzz --replay " << c.seed
+            << " --oracle " << oracle << "\n";
+    oss << "# or save the nest below and run:\n";
+    oss << "#   uovfuzz --oracle " << oracle
+        << " --corpus-file repro.nest\n";
+    for (const auto &w : c.candidates)
+        oss << "# candidate " << w.str() << "\n";
+    oss << caseToNestText(c);
+    oss << "# -----------------------\n";
+    return oss.str();
+}
+
+} // namespace fuzz
+} // namespace uov

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Greedy test-case shrinker: take any failing FuzzCase and minimize
+ * it while the caller's predicate still reports a failure.
+ *
+ * The passes are the classic delta-debugging moves specialized to the
+ * UOV input space: drop dependence vectors, pull coordinates toward
+ * zero (halving, then decrement), drop membership candidates, shrink
+ * candidate coordinates, and collapse the ISG box.  Every proposed
+ * mutation is validated (the dependence set must still form a legal
+ * stencil) before the predicate runs, and passes repeat to a fixpoint,
+ * so the result is 1-minimal with respect to the move set.
+ *
+ * The shrunk case prints as a paste-able repro: the case seed plus
+ * the equivalent loop-nest text (parseable by uovfuzz --corpus and
+ * uovc alike), with the candidate vectors as comments.
+ */
+
+#ifndef UOV_FUZZ_SHRINKER_H
+#define UOV_FUZZ_SHRINKER_H
+
+#include <functional>
+#include <string>
+
+#include "fuzz/oracles.h"
+
+namespace uov {
+namespace fuzz {
+
+/** Re-test a candidate case: true means "still fails". */
+using FailPredicate = std::function<bool(const FuzzCase &)>;
+
+/** Counters describing one shrink run. */
+struct ShrinkStats
+{
+    uint64_t attempts = 0;  ///< mutations proposed
+    uint64_t accepted = 0;  ///< mutations that kept the failure
+    uint64_t rounds = 0;    ///< full passes until fixpoint
+};
+
+/**
+ * Greedily minimize @p failing under @p fails.
+ * @pre fails(failing) is true (checked; returns the input otherwise)
+ */
+FuzzCase shrinkCase(const FuzzCase &failing, const FailPredicate &fails,
+                    ShrinkStats *stats = nullptr);
+
+/** The loop-nest text equivalent of a case (single statement). */
+std::string caseToNestText(const FuzzCase &c);
+
+/** Full paste-able repro block: seed, replay command, nest text. */
+std::string reproString(const FuzzCase &c, const std::string &oracle,
+                        const std::string &detail);
+
+} // namespace fuzz
+} // namespace uov
+
+#endif // UOV_FUZZ_SHRINKER_H

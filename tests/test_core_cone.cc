@@ -132,5 +132,35 @@ TEST(ConeSolver, HugeCoordinatesUseComponentwiseTermination)
     EXPECT_FALSE(solver.contains(IVec{1, 2 * big + 1}));
 }
 
+TEST(ConeSolver, DimensionMismatchNamesBothDimensions)
+{
+    ConeSolver solver(Stencil({IVec{1, 0}, IVec{0, 1}}));
+    try {
+        solver.contains(IVec{1, 2, 3});
+        FAIL() << "expected UovUserError";
+    } catch (const UovUserError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("dimension 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("dimension 2"), std::string::npos) << msg;
+    }
+}
+
+TEST(ConeSolver, BudgetErrorNamesTheStencil)
+{
+    // A tight node budget must fail with the stencil spelled out so
+    // the failing query is reconstructible from the message alone.
+    Stencil s({IVec{1, -1}, IVec{1, 1}});
+    ConeSolver solver(s, /*max_nodes=*/2);
+    try {
+        // Membership needs more than two search nodes.
+        solver.contains(IVec{40, 0});
+        FAIL() << "expected UovUserError";
+    } catch (const UovUserError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find(s.str()), std::string::npos) << msg;
+        EXPECT_NE(msg.find("budget"), std::string::npos) << msg;
+    }
+}
+
 } // namespace
 } // namespace uov

@@ -10,6 +10,7 @@
 
 #include "core/done_dead.h"
 #include "core/uov.h"
+#include "support/error.h"
 
 namespace uov {
 namespace {
@@ -163,6 +164,73 @@ TEST(DoneDead, FivePointDeadRequiresAllConsumersDone)
     EXPECT_TRUE(dd.isDead(q, IVec{2, 0}));
     // p = (3,0): p+(1,2) = (4,2) which is not done before q=(4,0).
     EXPECT_FALSE(dd.isDead(q, IVec{3, 0}));
+}
+
+// Precondition failures must name the offending input, not just the
+// rule: a fuzzer (or a user) pasting the message into a report needs
+// the vector and the stencil it clashed with.
+TEST(UovOracle, DimensionMismatchNamesCandidateAndStencil)
+{
+    UovOracle oracle(stencils::simpleExample()); // 2-D
+    try {
+        oracle.isUov(IVec{1, 1, 1});
+        FAIL() << "expected UovUserError";
+    } catch (const UovUserError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("(1, 1, 1)"), std::string::npos) << msg;
+        EXPECT_NE(msg.find(stencils::simpleExample().str()),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST(UovOracle, LinearLegalityErrorsNameTheInputs)
+{
+    Stencil s = stencils::simpleExample();
+    // Zero OV: the message names the stencil being scheduled.
+    try {
+        ovLegalForLinearSchedule(IVec{2, 1}, IVec{0, 0}, s);
+        FAIL() << "expected UovUserError";
+    } catch (const UovUserError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("zero occupancy vector"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find(s.str()), std::string::npos) << msg;
+    }
+    // Illegal schedule vector: the message names the first violated
+    // dependence, h.(0,1) = -1.
+    try {
+        ovLegalForLinearSchedule(IVec{1, -1}, IVec{1, 1}, s);
+        FAIL() << "expected UovUserError";
+    } catch (const UovUserError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("(0, 1)"), std::string::npos) << msg;
+    }
+}
+
+TEST(DoneDead, EnumerationBoxErrorsNameTheBox)
+{
+    DoneDeadAnalysis dd(stencils::simpleExample());
+    // Dimension mismatch names box and stencil.
+    try {
+        dd.enumerateDone(IVec{4, 4}, IVec{0, 0, 0}, IVec{2, 2, 2});
+        FAIL() << "expected UovUserError";
+    } catch (const UovError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("(0, 0, 0)"), std::string::npos) << msg;
+    }
+    // Inverted bounds name the box corners and the bad axis.
+    try {
+        dd.enumerateDone(IVec{4, 4}, IVec{0, 3}, IVec{2, 1});
+        FAIL() << "expected UovUserError";
+    } catch (const UovError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("empty enumeration box"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("(0, 3)"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("(2, 1)"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("axis 1"), std::string::npos) << msg;
+    }
 }
 
 } // namespace

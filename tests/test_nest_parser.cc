@@ -8,7 +8,9 @@
 
 #include "analysis/pipeline.h"
 #include "driver/nest_parser.h"
+#include "fuzz/generator.h"
 #include "support/error.h"
+#include "support/rng.h"
 
 namespace uov {
 namespace {
@@ -151,6 +153,68 @@ TEST(NestParser, RoundTrip)
         EXPECT_EQ(reparsed.statement(i).reads.size(),
                   original.statement(i).reads.size());
     }
+}
+
+// formatNest must be an exact left inverse of parseNest over the
+// whole space the fuzzer draws from: format(parse(format(n))) ==
+// format(n) and the reparsed IR matches field by field.  1000
+// generated nests cover 2-D/3-D bounds (including negative corners),
+// 1..3 statements, and stencils with mixed-sign offsets.
+TEST(NestParser, FuzzedRoundTrip1000)
+{
+    SplitMix64 rng(20260805);
+    for (int i = 0; i < 1000; ++i) {
+        LoopNest nest = fuzz::randomNest(rng);
+        std::string text = formatNest(nest);
+        LoopNest reparsed = parseNestString(text);
+        ASSERT_EQ(formatNest(reparsed), text) << text;
+        EXPECT_EQ(reparsed.name(), nest.name());
+        EXPECT_EQ(reparsed.lo(), nest.lo());
+        EXPECT_EQ(reparsed.hi(), nest.hi());
+        ASSERT_EQ(reparsed.statements().size(),
+                  nest.statements().size());
+        for (size_t s = 0; s < nest.statements().size(); ++s) {
+            const Statement &a = nest.statement(s);
+            const Statement &b = reparsed.statement(s);
+            EXPECT_EQ(b.name, a.name);
+            EXPECT_EQ(b.write.array, a.write.array);
+            EXPECT_EQ(b.write.offset, a.write.offset);
+            ASSERT_EQ(b.reads.size(), a.reads.size());
+            for (size_t r = 0; r < a.reads.size(); ++r) {
+                EXPECT_EQ(b.reads[r].array, a.reads[r].array);
+                EXPECT_EQ(b.reads[r].offset, a.reads[r].offset);
+            }
+        }
+    }
+}
+
+// Comment and whitespace edge cases must parse to the same nest as
+// the canonical form -- and the canonical form must contain none of
+// them back.
+TEST(NestParser, CommentAndWhitespaceEdgeCases)
+{
+    const char *messy =
+        "\n"
+        "   # leading blank line and indented comment\n"
+        "nest   edgecase   \n"
+        "\t bounds\t0..3   -2..2\n"
+        "# comment between sections\n"
+        "   statement   S\n"
+        "\twrite S[0,0]   \n"
+        "  read\t S[-1,2]\n"
+        "\n"
+        "  read  S[0,-1]  # trailing comment, stripped\n";
+    LoopNest a = parseNestString(messy);
+    EXPECT_EQ(a.name(), "edgecase");
+    EXPECT_EQ(a.lo(), (IVec{0, -2}));
+    EXPECT_EQ(a.hi(), (IVec{3, 2}));
+    ASSERT_EQ(a.statements().size(), 1u);
+    EXPECT_EQ(a.statement(0).reads.size(), 2u);
+
+    std::string canon = formatNest(a);
+    LoopNest b = parseNestString(canon);
+    EXPECT_EQ(formatNest(b), canon);
+    EXPECT_EQ(canon.find('\t'), std::string::npos);
 }
 
 } // namespace

@@ -153,6 +153,69 @@ TEST(Rng, NextDoubleInUnitInterval)
     }
 }
 
+TEST(Rng, NextInRangeFullInt64Span)
+{
+    // [INT64_MIN, INT64_MAX] makes the unsigned span wrap to 0; the
+    // generator must take the dedicated full-range path (one raw draw,
+    // no rejection loop) rather than calling nextBelow(0).
+    SplitMix64 rng(99), twin(99);
+    for (int i = 0; i < 100; ++i) {
+        int64_t v = rng.nextInRange(INT64_MIN, INT64_MAX);
+        EXPECT_EQ(v, static_cast<int64_t>(twin.next()));
+    }
+}
+
+TEST(Rng, NextInRangeFullSpanCoversBothSigns)
+{
+    SplitMix64 rng(5);
+    bool saw_neg = false, saw_pos = false;
+    for (int i = 0; i < 200; ++i) {
+        int64_t v = rng.nextInRange(INT64_MIN, INT64_MAX);
+        saw_neg |= (v < 0);
+        saw_pos |= (v > 0);
+    }
+    EXPECT_TRUE(saw_neg);
+    EXPECT_TRUE(saw_pos);
+}
+
+TEST(Rng, NextBelowRejectionPath)
+{
+    // bound = 2^63 + 1 puts the rejection threshold at 2^63 - 1, so
+    // just under half of all raw draws are rejected: the loop body
+    // that kills modulo bias actually executes.  A twin generator
+    // replays the published algorithm step by step; results and
+    // consumed stream positions must match exactly.
+    const uint64_t bound = (1ULL << 63) + 1;
+    const uint64_t threshold = (0 - bound) % bound;
+    EXPECT_EQ(threshold, (1ULL << 63) - 1);
+
+    SplitMix64 rng(1234), twin(1234);
+    uint64_t rejections = 0;
+    for (int i = 0; i < 64; ++i) {
+        uint64_t v = rng.nextBelow(bound);
+        uint64_t r;
+        do {
+            r = twin.next();
+            if (r < threshold)
+                ++rejections;
+        } while (r < threshold);
+        EXPECT_EQ(v, r % bound);
+        EXPECT_LT(v, bound);
+    }
+    // P(zero rejections in 64 draws) ~ 2^-64: the path ran.
+    EXPECT_GT(rejections, 0u);
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZeroAndConsumesOneDraw)
+{
+    SplitMix64 rng(8), twin(8);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+        twin.next(); // threshold is 0 for bound 1: exactly one draw
+    }
+    EXPECT_EQ(rng.next(), twin.next());
+}
+
 TEST(Table, AlignedPrintContainsCells)
 {
     Table t("demo");
