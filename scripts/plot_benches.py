@@ -9,9 +9,12 @@ Each bench emits one CSV table per simulated machine when run with
 --csv; this script splits on header rows (first cell "Length" or
 "Problem Size" or "N=M"), plots every version column against the size
 column on log-x axes, and writes one subplot per machine -- the same
-layout as the paper's Figures 9-14.  Diagnostic columns the streaming
-pipeline appends (simulation throughput, "MEvents/s") are not paper
-data and are skipped.
+layout as the paper's Figures 9-14.
+
+Unknown columns are tolerated generically rather than by name:
+rate/diagnostic columns (header ending in "/s") and columns with any
+non-numeric cell are skipped with a note, so benches may append new
+diagnostics without breaking the plots.
 
 Requires matplotlib; degrades to a textual summary without it.
 """
@@ -22,8 +25,14 @@ import sys
 
 SIZE_HEADERS = {"Length", "Problem Size", "N=M"}
 
-# Throughput/diagnostic columns to leave out of the figures.
-IGNORED_COLUMNS = {"MEvents/s"}
+
+def skip_reason(header, values):
+    """Why a column can't be plotted, or None if it can."""
+    if header.endswith("/s"):
+        return "rate diagnostic"
+    if any(v is None for v in values):
+        return "non-numeric cells"
+    return None
 
 
 def parse_tables(path):
@@ -43,7 +52,10 @@ def parse_tables(path):
 
 
 def to_number(cell):
-    return float(cell.replace(",", ""))
+    try:
+        return float(cell.replace(",", ""))
+    except ValueError:
+        return None
 
 
 def main():
@@ -77,9 +89,16 @@ def main():
         header = table["header"]
         sizes = [to_number(r[0]) for r in table["rows"]]
         for col in range(1, len(header)):
-            if header[col] in IGNORED_COLUMNS:
+            # Rows narrower than the header (or vice versa) only
+            # suppress the affected column, not the whole figure.
+            values = [
+                to_number(r[col]) if col < len(r) else None
+                for r in table["rows"]
+            ]
+            reason = skip_reason(header[col], values)
+            if reason:
+                print(f"skipping column '{header[col]}' ({reason})")
                 continue
-            values = [to_number(r[col]) for r in table["rows"]]
             ax.plot(sizes, values, marker="o", label=header[col])
         ax.set_xscale("log")
         ax.set_xlabel(header[0])

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * uovd: the UOV query service driver.
+ *
+ * Reads newline-delimited queries (see src/service/executor.h for the
+ * protocol) from stdin or a file, answers them concurrently through
+ * the canonicalizing, caching QueryService, and writes responses in
+ * request order -- byte-identical to a single-threaded direct
+ * core/search run, at any thread count and cache size.
+ *
+ *   $ echo 'query shortest deps [1,0] [0,1] [1,1]' | ./uovd
+ *   answer 1 best=(1, 1) value=2 initial=4 canon=3 cert=...
+ *
+ *   $ ./uovd --input queries.txt --threads 8 --metrics
+ *   $ ./uovd --nest examples/corpus/stencil5.nest
+ *
+ * --nest FILE converts a nest description (driver/nest_parser format)
+ * into one shortest and one storage query over its statement-0
+ * stencil and bounds, so existing corpora exercise the service path.
+ *
+ * Exit status: 0 when every request was answered, 1 when any response
+ * is an error line, 2 on usage problems.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dependence.h"
+#include "driver/nest_parser.h"
+#include "service/executor.h"
+#include "support/error.h"
+#include "support/version.h"
+
+using namespace uov;
+using namespace uov::service;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "uovd " << buildVersion() << " -- UOV query service\n"
+        "usage: uovd [options]\n"
+        "  --input FILE      read queries from FILE (default: stdin)\n"
+        "  --output FILE     write responses to FILE (default: stdout)\n"
+        "  --nest FILE       add queries for a nest description\n"
+        "                    (repeatable; runs before --input/stdin\n"
+        "                    only when given, stdin is then skipped)\n"
+        "  --threads N       worker threads (default: hardware)\n"
+        "  --cache-bytes N   result cache budget (default 64 MiB)\n"
+        "  --cache-shards N  cache stripe count (default 16)\n"
+        "  --no-cache        disable the result cache\n"
+        "  --max-visits N    branch-and-bound visit cap per query\n"
+        "  --metrics         dump the metrics table to stderr at exit\n"
+        "  --metrics-json F  dump metrics as JSON to F ('-' = stderr)\n"
+        "  --version         print the build version and exit\n";
+}
+
+/** Statement-0 stencil + nest bounds, as protocol request objects. */
+std::vector<Request>
+requestsFromNest(const LoopNest &nest, size_t &next_index)
+{
+    Stencil stencil = extractStencil(nest, 0);
+    Request shortest;
+    shortest.index = ++next_index;
+    shortest.objective = SearchObjective::ShortestVector;
+    shortest.deps = stencil.deps();
+
+    Request storage;
+    storage.index = ++next_index;
+    storage.objective = SearchObjective::BoundedStorage;
+    storage.deps = stencil.deps();
+    storage.isg_lo = nest.lo();
+    storage.isg_hi = nest.hi();
+    return {shortest, storage};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input_path, output_path, metrics_json_path;
+    std::vector<std::string> nest_paths;
+    unsigned threads = 0;
+    bool dump_metrics = false;
+    ServiceOptions options;
+
+    auto next_arg = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << "uovd: " << flag << " needs a value\n";
+            exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        try {
+            if (a == "--help" || a == "-h") {
+                usage();
+                return 0;
+            } else if (a == "--version") {
+                std::cout << "uovd " << buildVersion() << "\n";
+                return 0;
+            } else if (a == "--input") {
+                input_path = next_arg(i, "--input");
+            } else if (a == "--output") {
+                output_path = next_arg(i, "--output");
+            } else if (a == "--nest") {
+                nest_paths.push_back(next_arg(i, "--nest"));
+            } else if (a == "--threads") {
+                threads = static_cast<unsigned>(
+                    std::stoul(next_arg(i, "--threads")));
+            } else if (a == "--cache-bytes") {
+                options.cache_bytes =
+                    std::stoull(next_arg(i, "--cache-bytes"));
+            } else if (a == "--cache-shards") {
+                options.cache_shards =
+                    std::stoull(next_arg(i, "--cache-shards"));
+            } else if (a == "--no-cache") {
+                options.cache_bytes = 0;
+            } else if (a == "--max-visits") {
+                options.max_visits =
+                    std::stoull(next_arg(i, "--max-visits"));
+            } else if (a == "--metrics") {
+                dump_metrics = true;
+            } else if (a == "--metrics-json") {
+                metrics_json_path = next_arg(i, "--metrics-json");
+            } else {
+                std::cerr << "uovd: unknown option '" << a << "'\n";
+                usage();
+                return 2;
+            }
+        } catch (const std::logic_error &) {
+            std::cerr << "uovd: bad numeric value for " << a << "\n";
+            return 2;
+        }
+    }
+
+    // Gather requests: nests first, then the query stream (skipped
+    // when only nests were given and no explicit --input).
+    std::vector<Request> requests;
+    size_t next_index = 0;
+    for (const auto &path : nest_paths) {
+        std::ifstream in(path);
+        if (!in) {
+            std::cerr << "uovd: cannot open nest file '" << path
+                      << "'\n";
+            return 2;
+        }
+        try {
+            LoopNest nest = parseNest(in);
+            auto reqs = requestsFromNest(nest, next_index);
+            requests.insert(requests.end(), reqs.begin(), reqs.end());
+        } catch (const UovError &e) {
+            std::cerr << "uovd: " << path << ": " << e.what() << "\n";
+            return 2;
+        }
+    }
+    if (nest_paths.empty() || !input_path.empty()) {
+        std::ifstream file;
+        std::istream *in = &std::cin;
+        if (!input_path.empty() && input_path != "-") {
+            file.open(input_path);
+            if (!file) {
+                std::cerr << "uovd: cannot open input '" << input_path
+                          << "'\n";
+                return 2;
+            }
+            in = &file;
+        }
+        std::vector<Request> parsed = parseRequests(*in);
+        for (Request &r : parsed) {
+            r.index = ++next_index;
+            requests.push_back(std::move(r));
+        }
+    }
+
+    MetricsRegistry metrics;
+    QueryService svc(options, metrics);
+    ThreadPool pool(threads);
+    std::vector<std::string> responses;
+    try {
+        responses = runBatch(svc, requests, pool);
+    } catch (const UovError &e) {
+        std::cerr << "uovd: " << e.what() << "\n";
+        return 2;
+    }
+
+    std::ofstream out_file;
+    std::ostream *out = &std::cout;
+    if (!output_path.empty() && output_path != "-") {
+        out_file.open(output_path);
+        if (!out_file) {
+            std::cerr << "uovd: cannot open output '" << output_path
+                      << "'\n";
+            return 2;
+        }
+        out = &out_file;
+    }
+    bool any_error = false;
+    for (const auto &line : responses) {
+        *out << line << "\n";
+        if (line.rfind("error ", 0) == 0)
+            any_error = true;
+    }
+
+    if (dump_metrics)
+        metrics.table().print(std::cerr);
+    if (!metrics_json_path.empty()) {
+        if (metrics_json_path == "-") {
+            std::cerr << metrics.json() << "\n";
+        } else {
+            std::ofstream mf(metrics_json_path);
+            if (!mf) {
+                std::cerr << "uovd: cannot open metrics output '"
+                          << metrics_json_path << "'\n";
+                return 2;
+            }
+            mf << metrics.json() << "\n";
+        }
+    }
+    return any_error ? 1 : 0;
+}

@@ -25,6 +25,7 @@
 
 #include "fuzz/fuzzer.h"
 #include "support/error.h"
+#include "support/version.h"
 
 using namespace uov;
 using namespace uov::fuzz;
@@ -35,12 +36,15 @@ void
 usage()
 {
     std::cout <<
+        "uovfuzz " << buildVersion()
+              << " -- differential fuzzing driver\n"
         "usage: uovfuzz [options]\n"
         "  --seed N        master seed for the random sweep "
         "(default 1)\n"
         "  --iters N       random cases to run (default 100)\n"
-        "  --oracle NAME   membership|search|mapping|streaming "
-        "(default: all)\n"
+        "  --oracle NAME   membership|search|mapping|streaming|"
+        "service\n"
+        "                  (default: all)\n"
         "  --shrink        minimize failing cases (default)\n"
         "  --no-shrink     report failures unminimized\n"
         "  --replay SEED   regenerate one case from its seed and run\n"
@@ -140,7 +144,8 @@ main(int argc, char **argv)
                 kinds.push_back(*opt.only);
             } else {
                 kinds = {OracleKind::Membership, OracleKind::Search,
-                         OracleKind::Mapping, OracleKind::Streaming};
+                         OracleKind::Mapping, OracleKind::Streaming,
+                         OracleKind::Service};
             }
             for (OracleKind k : kinds) {
                 auto v = runOracle(k, c);

@@ -22,6 +22,8 @@ oracleName(OracleKind kind)
         return "mapping";
       case OracleKind::Streaming:
         return "streaming";
+      case OracleKind::Service:
+        return "service";
     }
     UOV_UNREACHABLE("bad oracle kind");
 }
@@ -31,7 +33,8 @@ parseOracleName(const std::string &name)
 {
     for (OracleKind k :
          {OracleKind::Membership, OracleKind::Search,
-          OracleKind::Mapping, OracleKind::Streaming}) {
+          OracleKind::Mapping, OracleKind::Streaming,
+          OracleKind::Service}) {
         if (name == oracleName(k))
             return k;
     }
@@ -51,6 +54,8 @@ runOracle(OracleKind kind, const FuzzCase &c)
             return checkMapping(c);
           case OracleKind::Streaming:
             return checkStreaming(c.seed);
+          case OracleKind::Service:
+            return checkService(c);
         }
         UOV_UNREACHABLE("bad oracle kind");
     } catch (const UovError &e) {
@@ -72,7 +77,8 @@ namespace {
 
 /** The stencil-shaped oracles a corpus nest exercises. */
 constexpr OracleKind kCorpusOracles[] = {
-    OracleKind::Membership, OracleKind::Search, OracleKind::Mapping};
+    OracleKind::Membership, OracleKind::Search, OracleKind::Mapping,
+    OracleKind::Service};
 
 void
 recordFailure(FuzzReport &report, const FuzzOptions &opt,
@@ -159,7 +165,7 @@ runFuzzer(const FuzzOptions &opt)
         uint64_t case_seed = seeds.next();
         OracleKind kind =
             opt.only ? *opt.only
-                     : static_cast<OracleKind>(i % 4);
+                     : static_cast<OracleKind>(i % kOracleKindCount);
         FuzzCase c = makeCase(case_seed, opt.gen);
         ++report.cases;
         ++report.oracle_runs;

@@ -1,7 +1,7 @@
 /**
  * @file
  * The differential fuzzing harness: corpus replay + seeded random
- * sweep over the four oracle families, with automatic shrinking of
+ * sweep over the five oracle families, with automatic shrinking of
  * anything that fails.
  *
  * One harness serves three masters: the uovfuzz CLI (soak runs and
@@ -27,18 +27,23 @@
 namespace uov {
 namespace fuzz {
 
-/** The four differential oracle families. */
+/** The five differential oracle families. */
 enum class OracleKind
 {
     Membership, ///< isUov vs DONE/DEAD vs brute force vs certificates
     Search,     ///< branch-and-bound vs exhaustive vs ablations
     Mapping,    ///< storage mappings executed under legal schedules
     Streaming,  ///< fused simulation vs record-then-replay vs direct
+    Service,    ///< concurrent cached QueryService vs direct search
 };
+
+/** Number of OracleKind values (the random sweep cycles them all). */
+constexpr size_t kOracleKindCount = 5;
 
 const char *oracleName(OracleKind kind);
 
-/** Parse "membership" | "search" | "mapping" | "streaming". */
+/** Parse "membership" | "search" | "mapping" | "streaming" |
+ *  "service". */
 std::optional<OracleKind> parseOracleName(const std::string &name);
 
 /** Harness configuration. */
@@ -46,7 +51,7 @@ struct FuzzOptions
 {
     uint64_t seed = 1;
     uint64_t iters = 100;
-    /** Restrict to one oracle; nullopt cycles through all four. */
+    /** Restrict to one oracle; nullopt cycles through all five. */
     std::optional<OracleKind> only;
     bool shrink = true;
     GenOptions gen;

@@ -16,9 +16,11 @@
 #include "kernels/stencil5.h"
 #include "mapping/storage_mapping.h"
 #include "schedule/executor.h"
+#include "service/executor.h"
 #include "sim/streaming.h"
 #include "sim/trace.h"
 #include "support/error.h"
+#include "support/thread_pool.h"
 
 namespace uov {
 namespace fuzz {
@@ -575,6 +577,140 @@ checkStreaming(uint64_t case_seed)
     return diffStreaming(label, [&](auto &mem, auto &arena) {
         return runPsm(v, cfg, mem, arena);
     });
+}
+
+namespace {
+
+/** "answer 7 best=..." -> "best=..." (index-independent payload). */
+std::string
+stripIndex(const std::string &line)
+{
+    size_t first = line.find(' ');
+    size_t second =
+        first == std::string::npos ? first : line.find(' ', first + 1);
+    return second == std::string::npos ? line : line.substr(second + 1);
+}
+
+} // namespace
+
+OracleVerdict
+checkService(const FuzzCase &c)
+{
+    if (!c.valid())
+        return std::nullopt;
+
+    // Small cap (same as checkSearch's large-ball mode): the oracle's
+    // claim is byte-identity between the service and the direct path,
+    // which the determinism contract makes independent of where the
+    // search stops.
+    constexpr uint64_t kVisitCap = 2'000;
+
+    // Presentations per objective, grouped by canonical key:
+    //   group A: the deps as given, reversed, and with a duplicate
+    //            appended (Stencil construction sorts and dedups);
+    //   group B: V + {2*v0, 3*v0} and V + {3*v0}.  2*v0 is removable
+    //            once 3*v0 is present (3*v0 - 2*v0 = v0 lies in the
+    //            cone) while 3*v0 alone generally is not, so the two
+    //            share a canonical key that differs from group A's.
+    std::vector<service::Request> reqs;
+    std::vector<size_t> group_a, group_b; // indices into reqs
+    auto add = [&](std::vector<IVec> deps, SearchObjective obj) {
+        service::Request r;
+        r.index = reqs.size() + 1;
+        r.deps = std::move(deps);
+        r.objective = obj;
+        if (obj == SearchObjective::BoundedStorage) {
+            r.isg_lo = c.lo;
+            r.isg_hi = c.hi;
+        }
+        reqs.push_back(std::move(r));
+        return reqs.size() - 1;
+    };
+    std::vector<IVec> rev(c.deps.rbegin(), c.deps.rend());
+    std::vector<IVec> dup = c.deps;
+    dup.push_back(c.deps.front());
+    std::vector<IVec> with3 = c.deps;
+    with3.push_back(c.deps.front() * 3);
+    std::vector<IVec> with23 = with3;
+    with23.push_back(c.deps.front() * 2);
+    for (SearchObjective obj : {SearchObjective::ShortestVector,
+                                SearchObjective::BoundedStorage}) {
+        group_a.push_back(add(c.deps, obj));
+        group_a.push_back(add(rev, obj));
+        group_a.push_back(add(dup, obj));
+        group_b.push_back(add(with23, obj));
+        group_b.push_back(add(with3, obj));
+    }
+
+    std::vector<std::string> direct =
+        service::runBatchDirect(reqs, kVisitCap);
+
+    // Key-equal presentations must produce identical payloads.
+    for (const auto *group : {&group_a, &group_b}) {
+        for (size_t k = 1; k < group->size() / 2; ++k) {
+            for (size_t half : {size_t{0}, group->size() / 2}) {
+                const std::string &a = direct[(*group)[half]];
+                const std::string &b = direct[(*group)[half + k]];
+                if (stripIndex(a) != stripIndex(b))
+                    return "key-equal presentations of " +
+                           vecsStr(c.deps) + " answered '" + a +
+                           "' vs '" + b + "'";
+            }
+        }
+    }
+
+    // The service must match the direct path byte-for-byte at every
+    // cache/shard/thread configuration, and with the cache enabled
+    // its lookup counters must reconcile with the request count.
+    struct Config
+    {
+        size_t cache_bytes;
+        size_t shards;
+        unsigned threads;
+    };
+    constexpr Config kConfigs[] = {
+        {64u << 20, 1, 1},
+        {64u << 20, 16, 4},
+        {0, 16, 2},
+    };
+    for (const Config &cfg : kConfigs) {
+        service::ServiceOptions so;
+        so.cache_bytes = cfg.cache_bytes;
+        so.cache_shards = cfg.shards;
+        so.max_visits = kVisitCap;
+        service::MetricsRegistry metrics;
+        service::QueryService svc(so, metrics);
+        ThreadPool pool(cfg.threads);
+        std::vector<std::string> got =
+            service::runBatch(svc, reqs, pool);
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            if (got[i] != direct[i])
+                return "service (cache=" +
+                       std::to_string(cfg.cache_bytes) + " threads=" +
+                       std::to_string(cfg.threads) + ") answered '" +
+                       got[i] + "' but direct said '" + direct[i] +
+                       "'";
+        }
+        if (cfg.cache_bytes > 0) {
+            auto st = svc.cacheStats();
+            if (st.hits + st.misses != reqs.size())
+                return "cache hits " + std::to_string(st.hits) +
+                       " + misses " + std::to_string(st.misses) +
+                       " != " + std::to_string(reqs.size()) +
+                       " requests over " + vecsStr(c.deps);
+            uint64_t coalesced =
+                metrics.counter("service.singleflight.coalesced")
+                    .value();
+            if (st.hits + svc.searchesExecuted() + coalesced !=
+                reqs.size())
+                return "hits + searches + coalesced != requests "
+                       "over " +
+                       vecsStr(c.deps) +
+                       " (a query was neither served from cache, "
+                       "coalesced onto a flight, nor computed)";
+        }
+    }
+    return std::nullopt;
 }
 
 } // namespace fuzz

@@ -18,6 +18,10 @@
  *  - Streaming: fused StreamingSim vs record-then-replay vs a direct
  *    SimMem run on fuzzed kernel configurations, all statistics
  *    bit-identical.
+ *  - Service: the canonicalizing, caching, single-flight QueryService
+ *    answered through the batch executor at several thread counts and
+ *    cache configurations vs the single-threaded direct core/search
+ *    path, responses byte-identical and cache metrics reconciled.
  *
  * An oracle returns std::nullopt when every cross-check agrees, or a
  * description of the first discrepancy.  Exceptions escaping an
@@ -72,6 +76,7 @@ using OracleVerdict = std::optional<std::string>;
 OracleVerdict checkMembership(const FuzzCase &c);
 OracleVerdict checkSearch(const FuzzCase &c);
 OracleVerdict checkMapping(const FuzzCase &c);
+OracleVerdict checkService(const FuzzCase &c);
 
 /**
  * The streaming oracle draws its own kernel configuration (stencil5

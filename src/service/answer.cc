@@ -1,0 +1,87 @@
+#include "service/answer.h"
+
+#include <sstream>
+
+#include "core/uov.h"
+#include "geometry/polyhedron.h"
+#include "service/canonical.h"
+#include "support/error.h"
+
+namespace uov {
+namespace service {
+
+size_t
+ServiceAnswer::byteSize() const
+{
+    size_t bytes = sizeof(ServiceAnswer);
+    bytes += best_uov.dim() * sizeof(int64_t);
+    for (const auto &row : cert)
+        bytes += sizeof(row) + row.size() * sizeof(int64_t);
+    return bytes;
+}
+
+std::string
+ServiceAnswer::str() const
+{
+    std::ostringstream oss;
+    oss << "best=" << best_uov << " value=" << best_objective
+        << " initial=" << initial_objective
+        << " canon=" << canonical_deps;
+    if (hit_visit_cap)
+        oss << " capped=1";
+    oss << " cert=";
+    for (size_t i = 0; i < cert.size(); ++i) {
+        if (i)
+            oss << "|";
+        for (size_t j = 0; j < cert[i].size(); ++j) {
+            if (j)
+                oss << ",";
+            oss << cert[i][j];
+        }
+    }
+    return oss.str();
+}
+
+ServiceAnswer
+solveCanonical(const Stencil &canonical, SearchObjective objective,
+               const std::optional<IVec> &isg_lo,
+               const std::optional<IVec> &isg_hi, uint64_t max_visits)
+{
+    SearchOptions options;
+    options.max_visits = max_visits;
+    if (objective == SearchObjective::BoundedStorage) {
+        UOV_REQUIRE(isg_lo.has_value() && isg_hi.has_value(),
+                    "storage objective requires ISG bounds");
+        options.isg = Polyhedron::box(*isg_lo, *isg_hi);
+    }
+    SearchResult result =
+        BranchBoundSearch(canonical, objective, options).run();
+
+    ServiceAnswer answer;
+    answer.best_uov = result.best_uov;
+    answer.best_objective = result.best_objective;
+    answer.initial_objective = result.initial_objective;
+    answer.canonical_deps = canonical.size();
+    answer.hit_visit_cap = result.stats.hit_visit_cap;
+
+    UovOracle oracle(canonical);
+    auto cert = oracle.certify(result.best_uov);
+    UOV_CHECK(cert.has_value(),
+              "search result " << result.best_uov.str()
+                               << " failed certification over "
+                               << canonical.str());
+    answer.cert = std::move(cert->rows);
+    return answer;
+}
+
+ServiceAnswer
+solveDirect(const Stencil &stencil, SearchObjective objective,
+            const std::optional<IVec> &isg_lo,
+            const std::optional<IVec> &isg_hi, uint64_t max_visits)
+{
+    return solveCanonical(canonicalizeStencil(stencil), objective,
+                          isg_lo, isg_hi, max_visits);
+}
+
+} // namespace service
+} // namespace uov

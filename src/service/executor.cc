@@ -1,0 +1,255 @@
+#include "service/executor.h"
+
+#include <functional>
+#include <future>
+#include <istream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace uov {
+namespace service {
+
+namespace {
+
+/** Strip comments and surrounding whitespace (nest_parser rules). */
+std::string
+cleanLine(const std::string &raw)
+{
+    std::string s = raw;
+    auto hash = s.find('#');
+    if (hash != std::string::npos)
+        s.erase(hash);
+    auto b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    auto e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/** Parse one signed integer, rejecting trailing junk. */
+bool
+parseInt(const std::string &tok, int64_t &out)
+{
+    try {
+        size_t used = 0;
+        out = std::stoll(tok, &used);
+        return used == tok.size();
+    } catch (const std::logic_error &) {
+        return false;
+    }
+}
+
+/** Parse "[o1,o2,...]" (nest_parser access-offset syntax). */
+bool
+parseVec(const std::string &tok, IVec &out)
+{
+    if (tok.size() < 3 || tok.front() != '[' || tok.back() != ']')
+        return false;
+    std::vector<int64_t> coords;
+    std::stringstream ss(tok.substr(1, tok.size() - 2));
+    std::string part;
+    while (std::getline(ss, part, ',')) {
+        int64_t v;
+        if (!parseInt(part, v))
+            return false;
+        coords.push_back(v);
+    }
+    if (coords.empty())
+        return false;
+    out = IVec(std::move(coords));
+    return true;
+}
+
+/** Parse "lo..hi" (nest_parser bounds syntax). */
+bool
+parseRange(const std::string &tok, int64_t &lo, int64_t &hi)
+{
+    auto dots = tok.find("..");
+    if (dots == std::string::npos)
+        return false;
+    return parseInt(tok.substr(0, dots), lo) &&
+           parseInt(tok.substr(dots + 2), hi);
+}
+
+using SolveFn = std::function<ServiceAnswer(const Stencil &)>;
+
+/**
+ * Shared response formatter: the service path and the direct
+ * reference path must agree byte-for-byte, including on errors, so
+ * both route through this one function.
+ */
+std::string
+answerRequest(const Request &request, const SolveFn &solve)
+{
+    std::ostringstream oss;
+    if (!request.error.empty()) {
+        oss << "error " << request.index << " " << request.error;
+        return oss.str();
+    }
+    try {
+        Stencil stencil(request.deps);
+        ServiceAnswer answer = solve(stencil);
+        oss << "answer " << request.index << " " << answer.str();
+    } catch (const UovUserError &e) {
+        oss.str("");
+        oss << "error " << request.index << " " << e.what();
+    } catch (const UovOverflowError &e) {
+        oss.str("");
+        oss << "error " << request.index << " " << e.what();
+    }
+    return oss.str();
+}
+
+} // namespace
+
+Request
+parseRequestLine(const std::string &line, size_t index)
+{
+    Request r;
+    r.index = index;
+    auto fail = [&](const std::string &msg) {
+        r.error = msg;
+        return r;
+    };
+
+    std::stringstream ss(line);
+    std::string tok;
+    ss >> tok;
+    if (tok != "query")
+        return fail("expected 'query', got '" + tok + "'");
+
+    ss >> tok;
+    if (tok == "shortest") {
+        r.objective = SearchObjective::ShortestVector;
+    } else if (tok == "storage") {
+        r.objective = SearchObjective::BoundedStorage;
+    } else {
+        return fail("bad objective '" + tok +
+                    "', expected shortest|storage");
+    }
+
+    if (!(ss >> tok))
+        return fail("missing 'deps'");
+
+    if (tok == "bounds") {
+        std::vector<int64_t> los, his;
+        while (ss >> tok && tok != "deps") {
+            int64_t lo, hi;
+            if (!parseRange(tok, lo, hi))
+                return fail("bad range '" + tok +
+                            "', expected lo..hi");
+            if (lo > hi)
+                return fail("empty range '" + tok + "'");
+            los.push_back(lo);
+            his.push_back(hi);
+        }
+        if (los.empty())
+            return fail("'bounds' needs at least one range");
+        if (tok != "deps")
+            return fail("missing 'deps'");
+        r.isg_lo = IVec(std::move(los));
+        r.isg_hi = IVec(std::move(his));
+    }
+
+    if (tok != "deps")
+        return fail("expected 'bounds' or 'deps', got '" + tok + "'");
+
+    while (ss >> tok) {
+        IVec v;
+        if (!parseVec(tok, v))
+            return fail("bad dependence '" + tok +
+                        "', expected [o1,o2,...]");
+        r.deps.push_back(std::move(v));
+    }
+    if (r.deps.empty())
+        return fail("'deps' needs at least one vector");
+
+    if (r.objective == SearchObjective::BoundedStorage && !r.isg_lo)
+        return fail("storage query needs 'bounds'");
+    if (r.objective == SearchObjective::ShortestVector && r.isg_lo)
+        return fail("'bounds' is only valid for storage queries");
+    if (r.isg_lo && r.isg_lo->dim() != r.deps[0].dim())
+        return fail("bounds rank " +
+                    std::to_string(r.isg_lo->dim()) +
+                    " does not match dependence rank " +
+                    std::to_string(r.deps[0].dim()));
+    return r;
+}
+
+std::vector<Request>
+parseRequests(std::istream &in)
+{
+    std::vector<Request> requests;
+    std::string raw;
+    while (std::getline(in, raw)) {
+        std::string line = cleanLine(raw);
+        if (line.empty())
+            continue;
+        requests.push_back(parseRequestLine(line, requests.size() + 1));
+    }
+    return requests;
+}
+
+std::string
+runRequest(QueryService &service, const Request &request)
+{
+    return answerRequest(request, [&](const Stencil &s) {
+        return service.query(s, request.objective, request.isg_lo,
+                             request.isg_hi);
+    });
+}
+
+std::vector<std::string>
+runBatch(QueryService &service, const std::vector<Request> &requests,
+         ThreadPool &pool)
+{
+    std::vector<std::string> responses(requests.size());
+    Gauge &depth = service.metrics().gauge("service.queue_depth");
+    std::vector<std::future<void>> futures;
+    futures.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+        depth.add(1);
+        futures.push_back(pool.submit([&service, &requests, &responses,
+                                       &depth, i] {
+            try {
+                responses[i] = runRequest(service, requests[i]);
+            } catch (...) {
+                depth.sub(1);
+                throw;
+            }
+            depth.sub(1);
+        }));
+    }
+    // Drain every future before unwinding (tasks capture locals),
+    // then surface the first internal error.
+    std::exception_ptr first;
+    for (auto &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+    return responses;
+}
+
+std::vector<std::string>
+runBatchDirect(const std::vector<Request> &requests, uint64_t max_visits)
+{
+    std::vector<std::string> responses;
+    responses.reserve(requests.size());
+    for (const Request &r : requests) {
+        responses.push_back(answerRequest(r, [&](const Stencil &s) {
+            return solveDirect(s, r.objective, r.isg_lo, r.isg_hi,
+                               max_visits);
+        }));
+    }
+    return responses;
+}
+
+} // namespace service
+} // namespace uov

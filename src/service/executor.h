@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Batch executor: the newline-delimited query protocol and the fan-out
+ * of parsed requests onto a ThreadPool.
+ *
+ * Protocol (one request per line; '#' comments and blank lines are
+ * skipped and consume no request index; sub-syntax -- 'lo..hi' ranges
+ * and bracketed integer tuples -- matches driver/nest_parser):
+ *
+ *     # best UOV by squared length
+ *     query shortest deps [1,0] [0,1] [1,1]
+ *     # best UOV by storage cells over the bounded ISG
+ *     query storage bounds 0..17 0..99 deps [1,-2] [1,-1] [1,0] [1,1] [1,2]
+ *
+ * Responses are written strictly in request order, one line each:
+ *
+ *     answer <idx> best=(1, 1) value=2 initial=4 canon=3 cert=...
+ *     error <idx> <message>
+ *
+ * so output is byte-deterministic for a given input at every thread
+ * count.  A malformed line yields an error response (the batch keeps
+ * going); the error text is part of the deterministic contract.
+ */
+
+#ifndef UOV_SERVICE_EXECUTOR_H
+#define UOV_SERVICE_EXECUTOR_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+#include "support/thread_pool.h"
+
+namespace uov {
+namespace service {
+
+/** One parsed protocol line (or its parse failure). */
+struct Request
+{
+    size_t index = 0;       ///< 1-based request number
+    std::string error;      ///< nonempty: parse failed, text to echo
+    std::vector<IVec> deps; ///< as presented (not yet canonical)
+    SearchObjective objective = SearchObjective::ShortestVector;
+    std::optional<IVec> isg_lo;
+    std::optional<IVec> isg_hi;
+};
+
+/**
+ * Parse every request line in @p in.  Never throws: malformed lines
+ * become Requests carrying an error message.
+ */
+std::vector<Request> parseRequests(std::istream &in);
+
+/** Parse one request line (no comment/blank handling). */
+Request parseRequestLine(const std::string &line, size_t index);
+
+/**
+ * Answer one request through the service; returns the full response
+ * line ("answer ..." or "error ...").  Input-dependent failures
+ * (invalid stencil, bad bounds) become error responses; internal
+ * errors propagate.
+ */
+std::string runRequest(QueryService &service, const Request &request);
+
+/**
+ * Answer a batch on @p pool (requests fan out; identical in-flight
+ * queries coalesce inside the service).  Responses are returned in
+ * request order.  The pool's queue depth is tracked in the service's
+ * "service.queue_depth" gauge.
+ */
+std::vector<std::string> runBatch(QueryService &service,
+                                  const std::vector<Request> &requests,
+                                  ThreadPool &pool);
+
+/** Single-threaded reference executor (no pool, no service state). */
+std::vector<std::string>
+runBatchDirect(const std::vector<Request> &requests,
+               uint64_t max_visits = 10'000'000);
+
+} // namespace service
+} // namespace uov
+
+#endif // UOV_SERVICE_EXECUTOR_H

@@ -1,0 +1,109 @@
+#include "service/result_cache.h"
+
+#include <bit>
+
+namespace uov {
+namespace service {
+
+ResultCache::ResultCache(size_t max_bytes, size_t shards,
+                         MetricsRegistry *metrics)
+{
+    if (shards < 1)
+        shards = 1;
+    if (shards > 256)
+        shards = 256;
+    shards = std::bit_ceil(shards);
+    _per_shard_bytes = max_bytes / shards;
+    _shards.reserve(shards);
+    for (size_t i = 0; i < shards; ++i)
+        _shards.push_back(std::make_unique<Shard>());
+    if (metrics) {
+        _hits = &metrics->counter("service.cache.hits");
+        _misses = &metrics->counter("service.cache.misses");
+        _evictions = &metrics->counter("service.cache.evictions");
+        _bytes_gauge = &metrics->gauge("service.cache.bytes");
+    }
+}
+
+ResultCache::Shard &
+ResultCache::shardOf(const CanonicalKey &key)
+{
+    // The low hash bits pick the shard; the hash-map inside the shard
+    // still sees the full hash, so the stripe costs no distribution.
+    return *_shards[key.hash() & (_shards.size() - 1)];
+}
+
+std::optional<ServiceAnswer>
+ResultCache::lookup(const CanonicalKey &key)
+{
+    Shard &shard = shardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.lookups;
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        ++shard.misses;
+        if (_misses)
+            _misses->inc();
+        return std::nullopt;
+    }
+    ++shard.hits;
+    if (_hits)
+        _hits->inc();
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->answer;
+}
+
+void
+ResultCache::insert(const CanonicalKey &key, const ServiceAnswer &answer)
+{
+    size_t bytes = key.byteSize() + answer.byteSize() +
+                   2 * sizeof(void *); // list + index node overhead
+    if (bytes > _per_shard_bytes)
+        return; // larger than a whole shard: not cacheable
+    Shard &shard = shardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        // Racing computations of the same key produce identical
+        // answers (determinism contract); just refresh recency.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    while (shard.bytes + bytes > _per_shard_bytes && !shard.lru.empty()) {
+        Entry &cold = shard.lru.back();
+        shard.bytes -= cold.bytes;
+        if (_bytes_gauge)
+            _bytes_gauge->sub(static_cast<int64_t>(cold.bytes));
+        shard.index.erase(cold.key);
+        shard.lru.pop_back();
+        ++shard.evictions;
+        if (_evictions)
+            _evictions->inc();
+    }
+    shard.lru.push_front(Entry{key, answer, bytes});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += bytes;
+    ++shard.insertions;
+    if (_bytes_gauge)
+        _bytes_gauge->add(static_cast<int64_t>(bytes));
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    Stats s;
+    for (const auto &shard : _shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        s.lookups += shard->lookups;
+        s.hits += shard->hits;
+        s.misses += shard->misses;
+        s.insertions += shard->insertions;
+        s.evictions += shard->evictions;
+        s.entries += shard->lru.size();
+        s.bytes += shard->bytes;
+    }
+    return s;
+}
+
+} // namespace service
+} // namespace uov

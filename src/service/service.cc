@@ -1,0 +1,109 @@
+#include "service/service.h"
+
+#include <chrono>
+
+namespace uov {
+namespace service {
+
+QueryService::QueryService(ServiceOptions options,
+                           MetricsRegistry &metrics)
+    : _options(options), _metrics(metrics),
+      _cache(options.cache_bytes, options.cache_shards, &metrics),
+      _requests(metrics.counter("service.requests")),
+      _searches(metrics.counter("service.searches")),
+      _coalesced(metrics.counter("service.singleflight.coalesced")),
+      _canon_removed(metrics.counter("service.canon.removed_deps")),
+      _latency_us(metrics.histogram("service.latency_us"))
+{
+}
+
+ServiceAnswer
+QueryService::query(const Stencil &stencil, SearchObjective objective,
+                    const std::optional<IVec> &isg_lo,
+                    const std::optional<IVec> &isg_hi)
+{
+    auto start = std::chrono::steady_clock::now();
+    _requests.inc();
+
+    Stencil canonical = canonicalizeStencil(stencil);
+    if (canonical.size() < stencil.size())
+        _canon_removed.inc(stencil.size() - canonical.size());
+    CanonicalKey key = makeKey(canonical, objective, isg_lo, isg_hi);
+
+    auto finish = [&](const ServiceAnswer &answer) {
+        auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+        _latency_us.observe(static_cast<uint64_t>(us));
+        return answer;
+    };
+
+    bool use_cache = _options.cache_bytes > 0;
+    if (use_cache) {
+        if (auto cached = _cache.lookup(key))
+            return finish(*cached);
+    }
+
+    // Single-flight: claim the key or join the thread computing it.
+    std::shared_ptr<Flight> flight;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(_flights_mutex);
+        auto it = _flights.find(key);
+        if (it == _flights.end()) {
+            flight = std::make_shared<Flight>();
+            _flights.emplace(key, flight);
+            owner = true;
+        } else {
+            flight = it->second;
+        }
+    }
+
+    if (!owner) {
+        _coalesced.inc();
+        std::unique_lock<std::mutex> lock(flight->mutex);
+        flight->cv.wait(lock, [&] { return flight->done; });
+        if (flight->error)
+            std::rethrow_exception(flight->error);
+        return finish(flight->answer);
+    }
+
+    ServiceAnswer answer;
+    std::exception_ptr error;
+    try {
+        answer = solveCanonical(canonical, objective, isg_lo, isg_hi,
+                                _options.max_visits);
+        _searches.inc();
+        if (use_cache)
+            _cache.insert(key, answer);
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    // Publish to waiters (after the cache insert, so a thread that
+    // sees the flight gone also sees the cached entry), then retire
+    // the flight.
+    {
+        std::lock_guard<std::mutex> lock(flight->mutex);
+        flight->answer = answer;
+        flight->error = error;
+        flight->done = true;
+    }
+    flight->cv.notify_all();
+    {
+        std::lock_guard<std::mutex> lock(_flights_mutex);
+        _flights.erase(key);
+    }
+    if (error)
+        std::rethrow_exception(error);
+    return finish(answer);
+}
+
+uint64_t
+QueryService::searchesExecuted() const
+{
+    return _searches.value();
+}
+
+} // namespace service
+} // namespace uov

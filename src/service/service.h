@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The concurrent UOV query service: canonicalize, consult the sharded
+ * result cache, deduplicate in-flight identical queries
+ * (single-flight), and fall through to the branch-and-bound solver.
+ *
+ * QueryService::query is safe to call from any number of threads; the
+ * service itself owns no threads (the batch executor supplies
+ * concurrency by fanning requests onto a ThreadPool).  Single-flight:
+ * the first thread to miss on a canonical key computes it inline
+ * while later threads with the same key block on that flight and
+ * receive the identical answer object -- an NP-complete search is
+ * never duplicated by a traffic burst.  The owner is always actively
+ * running on some thread (flights are created by the thread that
+ * computes), so waiters cannot deadlock against a queued task.
+ *
+ * Metric reconciliation invariant (asserted by tests): with the cache
+ * enabled, every query performs exactly one cache lookup, so
+ * service.cache.hits + service.cache.misses == service.requests.
+ */
+
+#ifndef UOV_SERVICE_SERVICE_H
+#define UOV_SERVICE_SERVICE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "service/answer.h"
+#include "service/canonical.h"
+#include "service/metrics.h"
+#include "service/result_cache.h"
+
+namespace uov {
+namespace service {
+
+/** Service configuration. */
+struct ServiceOptions
+{
+    /** Result-cache byte budget; 0 disables caching entirely. */
+    size_t cache_bytes = 64ull << 20;
+    /** Cache stripe count (rounded up to a power of two). */
+    size_t cache_shards = 16;
+    /** Branch-and-bound visit cap per query (anytime answers). */
+    uint64_t max_visits = 10'000'000;
+};
+
+class QueryService
+{
+  public:
+    /** @p metrics must outlive the service. */
+    QueryService(ServiceOptions options, MetricsRegistry &metrics);
+
+    /**
+     * Answer one query.  Deterministic: the result equals
+     * solveDirect(stencil, objective, bounds, max_visits) regardless
+     * of cache state or concurrent callers.  Thread-safe.
+     *
+     * @throws UovUserError on invalid input (e.g. missing bounds for
+     *         the storage objective); never corrupts service state.
+     */
+    ServiceAnswer query(const Stencil &stencil,
+                        SearchObjective objective,
+                        const std::optional<IVec> &isg_lo,
+                        const std::optional<IVec> &isg_hi);
+
+    /** Number of branch-and-bound searches actually executed. */
+    uint64_t searchesExecuted() const;
+
+    ResultCache::Stats cacheStats() const { return _cache.stats(); }
+    MetricsRegistry &metrics() { return _metrics; }
+    const ServiceOptions &options() const { return _options; }
+
+  private:
+    /** One in-flight computation; waiters block on cv until done. */
+    struct Flight
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool done = false;
+        ServiceAnswer answer;
+        std::exception_ptr error;
+    };
+
+    ServiceOptions _options;
+    MetricsRegistry &_metrics;
+    ResultCache _cache;
+
+    std::mutex _flights_mutex;
+    std::unordered_map<CanonicalKey, std::shared_ptr<Flight>,
+                       CanonicalKeyHash>
+        _flights;
+
+    Counter &_requests;
+    Counter &_searches;
+    Counter &_coalesced;
+    Counter &_canon_removed;
+    Histogram &_latency_us;
+};
+
+} // namespace service
+} // namespace uov
+
+#endif // UOV_SERVICE_SERVICE_H

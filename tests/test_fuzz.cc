@@ -179,8 +179,9 @@ TEST(FuzzHarness, CorpusDirectoryReplays)
     FuzzReport r = runFuzzer(opt);
     EXPECT_TRUE(r.ok()) << r.str();
     EXPECT_EQ(r.corpus_cases, 3u);
-    // Three stencil-shaped oracles per corpus nest.
-    EXPECT_EQ(r.oracle_runs, 9u);
+    // Four stencil-shaped oracles per corpus nest (membership,
+    // search, mapping, service).
+    EXPECT_EQ(r.oracle_runs, 12u);
 }
 
 TEST(FuzzHarness, MissingCorpusFileIsAFailure)

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the sharded LRU result cache: hit/miss accounting,
+ * recency refresh, byte-budget eviction from the cold end, degenerate
+ * budgets, shard rounding, metric mirroring, and a concurrent hammer
+ * whose counters must reconcile exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "service/result_cache.h"
+
+namespace uov {
+namespace service {
+namespace {
+
+/** Distinct same-sized keys: {(1,0),(k,1)} for varying k. */
+CanonicalKey
+keyFor(int64_t k)
+{
+    return makeKey(Stencil({IVec{1, 0}, IVec{k, 1}}),
+                   SearchObjective::ShortestVector, std::nullopt,
+                   std::nullopt);
+}
+
+ServiceAnswer
+answerFor(int64_t k)
+{
+    ServiceAnswer a;
+    a.best_uov = IVec{k, 1};
+    a.best_objective = k * k + 1;
+    a.initial_objective = 4 * a.best_objective;
+    a.canonical_deps = 2;
+    a.cert = {{1, 0}, {0, 1}};
+    return a;
+}
+
+/** The cache's own per-entry accounting, for budget arithmetic. */
+size_t
+entryBytes(int64_t k)
+{
+    return keyFor(k).byteSize() + answerFor(k).byteSize() +
+           2 * sizeof(void *);
+}
+
+TEST(ResultCache, MissThenHitReturnsStoredAnswer)
+{
+    ResultCache cache(1 << 20, 1);
+    EXPECT_FALSE(cache.lookup(keyFor(1)).has_value());
+    cache.insert(keyFor(1), answerFor(1));
+    auto got = cache.lookup(keyFor(1));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->best_uov, (IVec{1, 1}));
+    EXPECT_EQ(got->str(), answerFor(1).str());
+
+    auto st = cache.stats();
+    EXPECT_EQ(st.lookups, 2u);
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.insertions, 1u);
+    EXPECT_EQ(st.entries, 1u);
+}
+
+TEST(ResultCache, EvictsFromTheColdEnd)
+{
+    // Budget for exactly two entries, one shard.
+    ResultCache cache(2 * entryBytes(0), 1);
+    cache.insert(keyFor(0), answerFor(0));
+    cache.insert(keyFor(1), answerFor(1));
+    cache.insert(keyFor(2), answerFor(2)); // evicts key 0 (coldest)
+
+    EXPECT_FALSE(cache.lookup(keyFor(0)).has_value());
+    EXPECT_TRUE(cache.lookup(keyFor(1)).has_value());
+    EXPECT_TRUE(cache.lookup(keyFor(2)).has_value());
+
+    auto st = cache.stats();
+    EXPECT_EQ(st.evictions, 1u);
+    EXPECT_EQ(st.entries, 2u);
+    EXPECT_LE(st.bytes, cache.maxBytes());
+}
+
+TEST(ResultCache, LookupRefreshesRecency)
+{
+    ResultCache cache(2 * entryBytes(0), 1);
+    cache.insert(keyFor(0), answerFor(0));
+    cache.insert(keyFor(1), answerFor(1));
+    // Touch key 0 so key 1 becomes the cold end.
+    EXPECT_TRUE(cache.lookup(keyFor(0)).has_value());
+    cache.insert(keyFor(2), answerFor(2));
+
+    EXPECT_TRUE(cache.lookup(keyFor(0)).has_value());
+    EXPECT_FALSE(cache.lookup(keyFor(1)).has_value());
+    EXPECT_TRUE(cache.lookup(keyFor(2)).has_value());
+}
+
+TEST(ResultCache, ZeroBudgetStoresNothing)
+{
+    ResultCache cache(0, 4);
+    cache.insert(keyFor(1), answerFor(1));
+    EXPECT_FALSE(cache.lookup(keyFor(1)).has_value());
+    auto st = cache.stats();
+    EXPECT_EQ(st.insertions, 0u);
+    EXPECT_EQ(st.entries, 0u);
+    EXPECT_EQ(st.bytes, 0u);
+}
+
+TEST(ResultCache, OversizedEntryIsNeverCached)
+{
+    // Budget smaller than one entry: the insert must be dropped, not
+    // evict forever.
+    ResultCache cache(entryBytes(1) - 1, 1);
+    cache.insert(keyFor(1), answerFor(1));
+    EXPECT_FALSE(cache.lookup(keyFor(1)).has_value());
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCache, DuplicateInsertRefreshesInsteadOfGrowing)
+{
+    ResultCache cache(1 << 20, 1);
+    cache.insert(keyFor(1), answerFor(1));
+    size_t bytes = cache.stats().bytes;
+    cache.insert(keyFor(1), answerFor(1));
+    auto st = cache.stats();
+    EXPECT_EQ(st.entries, 1u);
+    EXPECT_EQ(st.insertions, 1u);
+    EXPECT_EQ(st.bytes, bytes);
+}
+
+TEST(ResultCache, ShardCountRoundsToPowerOfTwo)
+{
+    EXPECT_EQ(ResultCache(1 << 20, 0).shardCount(), 1u);
+    EXPECT_EQ(ResultCache(1 << 20, 1).shardCount(), 1u);
+    EXPECT_EQ(ResultCache(1 << 20, 5).shardCount(), 8u);
+    EXPECT_EQ(ResultCache(1 << 20, 16).shardCount(), 16u);
+    EXPECT_EQ(ResultCache(1 << 20, 1000).shardCount(), 256u);
+}
+
+TEST(ResultCache, MirrorsCountersIntoRegistry)
+{
+    MetricsRegistry metrics;
+    ResultCache cache(2 * entryBytes(0), 1, &metrics);
+    cache.insert(keyFor(0), answerFor(0));
+    cache.insert(keyFor(1), answerFor(1));
+    cache.insert(keyFor(2), answerFor(2));
+    (void)cache.lookup(keyFor(2));
+    (void)cache.lookup(keyFor(0)); // miss: evicted
+
+    auto st = cache.stats();
+    EXPECT_EQ(metrics.counter("service.cache.hits").value(), st.hits);
+    EXPECT_EQ(metrics.counter("service.cache.misses").value(),
+              st.misses);
+    EXPECT_EQ(metrics.counter("service.cache.evictions").value(),
+              st.evictions);
+    EXPECT_EQ(static_cast<uint64_t>(
+                  metrics.gauge("service.cache.bytes").value()),
+              st.bytes);
+}
+
+TEST(ResultCache, ConcurrentHammerReconciles)
+{
+    ResultCache cache(64 * entryBytes(0), 8);
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 4000;
+    constexpr int64_t kKeys = 32;
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&cache, t] {
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                int64_t k = (t * 7 + i) % kKeys;
+                if (auto got = cache.lookup(keyFor(k))) {
+                    // Stored answers are never torn or mismatched.
+                    ASSERT_EQ(got->str(), answerFor(k).str());
+                } else {
+                    cache.insert(keyFor(k), answerFor(k));
+                }
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    auto st = cache.stats();
+    EXPECT_EQ(st.lookups,
+              static_cast<uint64_t>(kThreads) * kOpsPerThread);
+    EXPECT_EQ(st.hits + st.misses, st.lookups);
+    EXPECT_LE(st.bytes, cache.maxBytes());
+    EXPECT_LE(st.entries, static_cast<uint64_t>(kKeys));
+}
+
+} // namespace
+} // namespace service
+} // namespace uov

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the service's stencil canonicalizer and cache key:
+ * the removal theorem's worked examples (including the counterexample
+ * that motivates condition (b)), idempotence, key equality across
+ * presentations, and fuzz-generated evidence that canonicalization
+ * preserves the UOV set pointwise and the search optimum exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/search.h"
+#include "core/uov.h"
+#include "fuzz/oracles.h"
+#include "service/canonical.h"
+#include "support/rng.h"
+
+namespace uov {
+namespace service {
+namespace {
+
+std::vector<IVec>
+deps(std::initializer_list<IVec> vs)
+{
+    return std::vector<IVec>(vs);
+}
+
+TEST(Canonical, RemovesImpliedCollinearDependence)
+{
+    // (2,0) is implied: it lies in cone{(1,0),(3,0)} and
+    // (3,0) - (2,0) = (1,0) is in the cone too (condition (b)).
+    Stencil canon =
+        canonicalizeStencil(Stencil(deps({{1, 0}, {2, 0}, {3, 0}})));
+    EXPECT_EQ(canon.deps(), deps({{1, 0}, {3, 0}}));
+}
+
+TEST(Canonical, KeepsSemigroupGapDependence)
+{
+    // (5,0) = (2,0) + (3,0) satisfies condition (a) but not (b):
+    // dropping it would admit w = (6,0) even though (6,0) - (5,0) =
+    // (1,0) is outside the numerical semigroup <2,3>.  The
+    // canonicalizer must keep all three.
+    Stencil s(deps({{2, 0}, {3, 0}, {5, 0}}));
+    EXPECT_EQ(canonicalizeStencil(s).deps(), s.deps());
+}
+
+TEST(Canonical, IsIdempotent)
+{
+    for (auto ds : {deps({{1, 0}, {2, 0}, {3, 0}}),
+                    deps({{2, 0}, {3, 0}, {5, 0}}),
+                    deps({{1, -1}, {1, 0}, {1, 1}, {2, 0}})}) {
+        Stencil once = canonicalizeStencil(Stencil(ds));
+        Stencil twice = canonicalizeStencil(once);
+        EXPECT_EQ(once.deps(), twice.deps());
+    }
+}
+
+TEST(Canonical, ScaledPadPresentationsShareAKey)
+{
+    // V + {2v, 3v} reduces to V + {3v}: 2v is removable once 3v is
+    // present (3v - 2v = v), while 3v itself generally is not.
+    std::vector<IVec> base = deps({{1, 0}, {1, 1}});
+    std::vector<IVec> with3 = base;
+    with3.push_back(IVec{3, 3});
+    std::vector<IVec> with23 = with3;
+    with23.push_back(IVec{2, 2});
+
+    Stencil a = canonicalizeStencil(Stencil(with23));
+    Stencil b = canonicalizeStencil(Stencil(with3));
+    EXPECT_EQ(a.deps(), b.deps());
+
+    CanonicalKey ka = makeKey(a, SearchObjective::ShortestVector,
+                              std::nullopt, std::nullopt);
+    CanonicalKey kb = makeKey(b, SearchObjective::ShortestVector,
+                              std::nullopt, std::nullopt);
+    EXPECT_TRUE(ka == kb);
+    EXPECT_EQ(ka.hash(), kb.hash());
+}
+
+TEST(Canonical, PresentationOrderAndDuplicatesAreFree)
+{
+    // Stencil construction sorts and dedups, so shuffled and
+    // duplicated presentations build identical keys.
+    Stencil a(deps({{1, 1}, {0, 1}, {1, 0}}));
+    Stencil b(deps({{1, 0}, {1, 1}, {0, 1}, {1, 1}}));
+    EXPECT_EQ(a.deps(), b.deps());
+    CanonicalKey ka =
+        makeKey(canonicalizeStencil(a), SearchObjective::ShortestVector,
+                std::nullopt, std::nullopt);
+    CanonicalKey kb =
+        makeKey(canonicalizeStencil(b), SearchObjective::ShortestVector,
+                std::nullopt, std::nullopt);
+    EXPECT_TRUE(ka == kb);
+}
+
+TEST(Canonical, KeySeparatesObjectiveAndBounds)
+{
+    Stencil s = canonicalizeStencil(Stencil(deps({{1, 0}, {0, 1}})));
+    CanonicalKey shortest = makeKey(s, SearchObjective::ShortestVector,
+                                    std::nullopt, std::nullopt);
+    CanonicalKey storage = makeKey(s, SearchObjective::BoundedStorage,
+                                   IVec{0, 0}, IVec{7, 7});
+    CanonicalKey storage2 = makeKey(s, SearchObjective::BoundedStorage,
+                                    IVec{0, 0}, IVec{7, 8});
+    EXPECT_FALSE(shortest == storage);
+    EXPECT_FALSE(storage == storage2);
+    EXPECT_TRUE(storage ==
+                makeKey(s, SearchObjective::BoundedStorage, IVec{0, 0},
+                        IVec{7, 7}));
+}
+
+// The theorem in canonical.h claims the UOV set is preserved
+// *pointwise*.  Probe it on fuzz-generated stencils: membership of
+// every generated candidate must agree before and after.
+TEST(Canonical, FuzzMembershipIsPreservedPointwise)
+{
+    SplitMix64 seeds(20260805);
+    size_t checked = 0;
+    for (int i = 0; i < 120; ++i) {
+        fuzz::FuzzCase c = fuzz::makeCase(seeds.next());
+        if (!c.valid())
+            continue;
+        Stencil s = c.stencil();
+        Stencil canon = canonicalizeStencil(s);
+        UovOracle orig(s);
+        UovOracle reduced(canon);
+        for (const IVec &w : c.candidates) {
+            ++checked;
+            EXPECT_EQ(orig.isUov(w), reduced.isUov(w))
+                << "stencil " << s.str() << " canon " << canon.str()
+                << " candidate " << w.str();
+        }
+        EXPECT_TRUE(reduced.isUov(s.initialUov()))
+            << "initial UOV of " << s.str()
+            << " lost after canonicalization to " << canon.str();
+    }
+    EXPECT_GT(checked, 100u);
+}
+
+// Key-equal queries must have the same optimum: the branch-and-bound
+// search run to completion on the original and the canonical stencil
+// finds the same best objective value.
+TEST(Canonical, FuzzShortestOptimumUnchanged)
+{
+    SplitMix64 seeds(77);
+    size_t compared = 0;
+    for (int i = 0; i < 60 && compared < 25; ++i) {
+        fuzz::FuzzCase c = fuzz::makeCase(seeds.next());
+        if (!c.valid())
+            continue;
+        Stencil s = c.stencil();
+        Stencil canon = canonicalizeStencil(s);
+        SearchOptions opts;
+        opts.max_visits = 200'000;
+        SearchResult orig =
+            BranchBoundSearch(s, SearchObjective::ShortestVector, opts)
+                .run();
+        SearchResult reduced =
+            BranchBoundSearch(canon, SearchObjective::ShortestVector,
+                              opts)
+                .run();
+        if (orig.stats.hit_visit_cap || reduced.stats.hit_visit_cap)
+            continue; // capped runs may legitimately differ
+        ++compared;
+        EXPECT_EQ(orig.best_objective, reduced.best_objective)
+            << "stencil " << s.str() << " canon " << canon.str();
+    }
+    EXPECT_GE(compared, 10u);
+}
+
+} // namespace
+} // namespace service
+} // namespace uov

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the batch executor: protocol parsing (including every
+ * rejection path), request-ordered responses, byte-identity with the
+ * single-threaded direct reference at several thread counts, and the
+ * cache collapsing duplicate queries to one search per canonical key.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "service/executor.h"
+
+namespace uov {
+namespace service {
+namespace {
+
+constexpr uint64_t kVisitCap = 2'000;
+
+TEST(Executor, ParsesShortestQuery)
+{
+    Request r = parseRequestLine(
+        "query shortest deps [1,0] [0,1] [1,1]", 3);
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_EQ(r.index, 3u);
+    EXPECT_EQ(r.objective, SearchObjective::ShortestVector);
+    ASSERT_EQ(r.deps.size(), 3u);
+    EXPECT_EQ(r.deps[0], (IVec{1, 0}));
+    EXPECT_FALSE(r.isg_lo.has_value());
+}
+
+TEST(Executor, ParsesStorageQueryWithBounds)
+{
+    Request r = parseRequestLine(
+        "query storage bounds 0..17 0..99 deps [1,-1] [1,0] [1,1]", 1);
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_EQ(r.objective, SearchObjective::BoundedStorage);
+    ASSERT_TRUE(r.isg_lo.has_value());
+    EXPECT_EQ(*r.isg_lo, (IVec{0, 0}));
+    EXPECT_EQ(*r.isg_hi, (IVec{17, 99}));
+}
+
+TEST(Executor, RejectsMalformedLines)
+{
+    struct Case
+    {
+        const char *line;
+        const char *substring;
+    };
+    const Case cases[] = {
+        {"solve shortest deps [1,0]", "expected 'query'"},
+        {"query fastest deps [1,0]", "bad objective"},
+        {"query shortest", "missing 'deps'"},
+        {"query shortest deps", "'deps' needs at least one vector"},
+        {"query shortest deps (1,0)", "bad dependence"},
+        {"query shortest deps [1,x]", "bad dependence"},
+        {"query storage deps [1,0]", "storage query needs 'bounds'"},
+        {"query shortest bounds 0..3 deps [1,0]",
+         "'bounds' is only valid for storage queries"},
+        {"query storage bounds deps [1,0]",
+         "'bounds' needs at least one range"},
+        {"query storage bounds 0-3 deps [1,0]", "bad range"},
+        {"query storage bounds 5..3 deps [1,0]", "empty range"},
+        {"query storage bounds 0..9 deps [1,0]",
+         "does not match dependence rank"},
+    };
+    for (const Case &c : cases) {
+        Request r = parseRequestLine(c.line, 1);
+        EXPECT_NE(r.error.find(c.substring), std::string::npos)
+            << "line '" << c.line << "' produced error '" << r.error
+            << "'";
+    }
+}
+
+TEST(Executor, SkipsCommentsAndBlankLines)
+{
+    std::istringstream in(
+        "# corpus of queries\n"
+        "\n"
+        "query shortest deps [1,0] [0,1]   # trailing comment\n"
+        "   \t\n"
+        "bogus line\n");
+    std::vector<Request> reqs = parseRequests(in);
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(reqs[0].index, 1u);
+    EXPECT_TRUE(reqs[0].error.empty());
+    EXPECT_EQ(reqs[1].index, 2u);
+    EXPECT_FALSE(reqs[1].error.empty());
+}
+
+std::vector<Request>
+mixedBatch()
+{
+    std::istringstream in(
+        "query shortest deps [1,0] [0,1] [1,1]\n"
+        "query shortest deps [1,1] [0,1] [1,0]\n" // same, reordered
+        "query shortest deps [1,0] [2,0] [3,0]\n" // canonicalizes
+        "query shortest deps [1,0] [3,0]\n"       // ...to this one
+        "query storage bounds 0..7 0..7 deps [1,-1] [1,0] [1,1]\n"
+        "query storage bounds 0..7 0..7 deps [1,1] [1,0] [1,-1]\n"
+        "not even close\n"
+        "query storage deps [1,0]\n" // storage without bounds
+        "query shortest deps [1,0] [0,1] [1,1]\n");
+    return parseRequests(in);
+}
+
+TEST(Executor, BatchMatchesDirectReferenceAtEveryThreadCount)
+{
+    std::vector<Request> reqs = mixedBatch();
+    std::vector<std::string> direct = runBatchDirect(reqs, kVisitCap);
+    ASSERT_EQ(direct.size(), reqs.size());
+    // Responses carry the request index in order.
+    EXPECT_EQ(direct[6].rfind("error 7 ", 0), 0u) << direct[6];
+    EXPECT_EQ(direct[0].rfind("answer 1 ", 0), 0u) << direct[0];
+
+    for (unsigned threads : {1u, 4u}) {
+        ServiceOptions opt;
+        opt.max_visits = kVisitCap;
+        MetricsRegistry metrics;
+        QueryService svc(opt, metrics);
+        ThreadPool pool(threads);
+        std::vector<std::string> got = runBatch(svc, reqs, pool);
+        EXPECT_EQ(got, direct) << "threads=" << threads;
+    }
+}
+
+TEST(Executor, NoCacheStillMatchesDirect)
+{
+    std::vector<Request> reqs = mixedBatch();
+    std::vector<std::string> direct = runBatchDirect(reqs, kVisitCap);
+    ServiceOptions opt;
+    opt.cache_bytes = 0;
+    opt.max_visits = kVisitCap;
+    MetricsRegistry metrics;
+    QueryService svc(opt, metrics);
+    ThreadPool pool(2);
+    EXPECT_EQ(runBatch(svc, reqs, pool), direct);
+}
+
+TEST(Executor, CacheCollapsesSearchesToDistinctCanonicalKeys)
+{
+    std::vector<Request> reqs = mixedBatch();
+    ServiceOptions opt;
+    opt.max_visits = kVisitCap;
+    MetricsRegistry metrics;
+    QueryService svc(opt, metrics);
+    // One worker: no single-flight races, so every duplicate must be
+    // a cache hit and the search count equals the distinct canonical
+    // keys among the 7 well-formed requests:
+    //   {(1,0),(0,1),(1,1)} shortest   (requests 1, 2, 9)
+    //   {(1,0),(3,0)}       shortest   (requests 3, 4 -- request 3
+    //                                   canonicalizes to request 4)
+    //   5-point storage over [0,7]^2   (requests 5, 6)
+    ThreadPool pool(1);
+    runBatch(svc, reqs, pool);
+    EXPECT_EQ(svc.searchesExecuted(), 3u);
+    auto st = svc.cacheStats();
+    EXPECT_EQ(st.misses, 3u);
+    EXPECT_EQ(st.hits, 4u);
+    // Every response for the same canonical key after the first is a
+    // hit: hits + misses covers exactly the well-formed requests.
+    EXPECT_EQ(st.hits + st.misses, 7u);
+}
+
+} // namespace
+} // namespace service
+} // namespace uov

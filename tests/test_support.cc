@@ -326,5 +326,69 @@ TEST(ThreadPoolTest, SharedPoolIsUsableAndStable)
     EXPECT_EQ(a.submit([] { return 42; }).get(), 42);
 }
 
+TEST(ThreadPoolTest, IdlePoolConstructsAndDestructsCleanly)
+{
+    // Zero tasks: construction and destruction must not hang on the
+    // empty queue.
+    {
+        ThreadPool pool(3);
+        EXPECT_EQ(pool.size(), 3u);
+    }
+    {
+        ThreadPool pool(1);
+        pool.parallelFor(0, 8, [](size_t, size_t) { FAIL(); });
+    }
+}
+
+TEST(ThreadPoolTest, ManyMoreTasksThanThreads)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 500; ++i)
+        futures.push_back(pool.submit(
+            [&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(ThreadPoolTest, PoolStaysUsableAfterManyThrowingTasks)
+{
+    ThreadPool pool(2);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 16; ++i)
+        futures.push_back(pool.submit([i]() -> int {
+            if (i % 2 == 0)
+                throw UovUserError("task " + std::to_string(i));
+            return i;
+        }));
+    for (int i = 0; i < 16; ++i) {
+        if (i % 2 == 0)
+            EXPECT_THROW(futures[static_cast<size_t>(i)].get(),
+                         UovUserError);
+        else
+            EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i);
+    }
+    EXPECT_EQ(pool.submit([] { return 99; }).get(), 99);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsPendingWork)
+{
+    // Queue far more work than the single worker can have started;
+    // the destructor promises to drain the queue, so every task must
+    // have run by the time the pool is gone.
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&ran] {
+                ran.fetch_add(1, std::memory_order_relaxed);
+            });
+        // No future.get(): destruction races task startup on purpose.
+    }
+    EXPECT_EQ(ran.load(), 200);
+}
+
 } // namespace
 } // namespace uov
