@@ -1,5 +1,6 @@
 #include "core/search.h"
 
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <queue>
@@ -20,8 +21,8 @@ SearchStats::str() const
     std::ostringstream oss;
     oss << "visited=" << visited << " enqueued=" << enqueued
         << " pruned=" << pruned << " bound_updates=" << bound_updates
-        << " visits_to_best=" << visits_to_best
-        << (hit_visit_cap ? " (visit cap hit)" : "");
+        << " visits_to_best=" << visits_to_best << " elapsed_us="
+        << elapsed_us;
     return oss.str();
 }
 
@@ -58,11 +59,41 @@ BranchBoundSearch::run()
     const size_t m = _stencil.size();
     const uint32_t full_mask =
         m == 32 ? 0xffffffffu : ((1u << m) - 1);
+    const auto start = std::chrono::steady_clock::now();
+    const SearchBudget &budget = _options.budget;
+
+    auto elapsed_us = [&] {
+        return std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
 
     SearchResult result;
     result.best_uov = _stencil.initialUov();
     result.initial_objective = objectiveOf(result.best_uov);
     result.best_objective = result.initial_objective;
+    if (_options.on_incumbent)
+        _options.on_incumbent(result.best_uov, result.best_objective,
+                              0, elapsed_us());
+
+    // Budget poll: nodes and cancellation every expansion, the clock
+    // every 256th (and before the first, so a 0 ms deadline returns
+    // the ov_o seed with nodes == 0, deterministically).
+    auto out_of_budget = [&]() -> bool {
+        if (result.stats.visited >= budget.max_nodes) {
+            result.degraded_reason = "node-budget";
+        } else if (budget.cancel.cancelled()) {
+            result.degraded_reason = "cancelled";
+        } else if (budget.deadline.bounded() &&
+                   (result.stats.visited & 255) == 0 &&
+                   budget.deadline.expired()) {
+            result.degraded_reason = "deadline";
+        } else {
+            return false;
+        }
+        result.status = SearchStatus::Degraded;
+        return true;
+    };
 
     // Search region: offsets from which a better candidate is still
     // reachable.  For the shortest objective the radius shrinks with
@@ -147,10 +178,8 @@ BranchBoundSearch::run()
         if (mask == ps.expanded)
             continue; // stale queue entry, nothing new to propagate
 
-        if (result.stats.visited >= _options.max_visits) {
-            result.stats.hit_visit_cap = true;
+        if (out_of_budget())
             break;
-        }
         ++result.stats.visited;
         ps.expanded = mask;
 
@@ -165,6 +194,10 @@ BranchBoundSearch::run()
                 if (_objective == SearchObjective::ShortestVector &&
                     !_options.disable_bound_shrinking)
                     radius_sq = obj;
+                if (_options.on_incumbent)
+                    _options.on_incumbent(result.best_uov, obj,
+                                          result.stats.visited,
+                                          elapsed_us());
                 UOV_LOG_DEBUG("search bound -> " << obj << " at "
                                                  << e.w.str());
             }
@@ -188,6 +221,13 @@ BranchBoundSearch::run()
         }
     }
 
+    result.stats.elapsed_us = elapsed_us();
+
+    // Contract: no vector leaves the search API unverified, whatever
+    // path (seed, candidate, degraded best-so-far) produced it.
+    UOV_CHECK(UovOracle(_stencil).isUov(result.best_uov),
+              "search produced a non-UOV " << result.best_uov.str()
+                                           << " for " << _stencil.str());
     return result;
 }
 

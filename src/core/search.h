@@ -16,6 +16,7 @@
 #define UOV_CORE_SEARCH_H
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -23,6 +24,7 @@
 #include "core/stencil.h"
 #include "geometry/ivec.h"
 #include "geometry/polyhedron.h"
+#include "support/deadline.h"
 
 namespace uov {
 
@@ -33,6 +35,33 @@ enum class SearchObjective
     ShortestVector,
     /** ISG bounds known: fewest storage cells over the given ISG. */
     BoundedStorage,
+};
+
+/**
+ * Resource budget for one search run.  The incumbent is seeded with
+ * the always-legal ov_o = sum(v_i), so exhausting any budget axis
+ * degrades to a certified best-so-far answer rather than failing
+ * (the paper: "a compiler could limit the amount of time the
+ * algorithm runs and just take the best answer").
+ */
+struct SearchBudget
+{
+    /** Wall-clock budget; unbounded by default.  0 ms is legal and
+     *  deterministically returns the seed incumbent. */
+    Deadline deadline;
+
+    /** Stop after this many point expansions. */
+    uint64_t max_nodes = 10'000'000;
+
+    /** Cooperative cancellation from another thread. */
+    CancelToken cancel;
+};
+
+/** How a search run ended. */
+enum class SearchStatus
+{
+    Optimal,  ///< search space exhausted; the answer is optimal
+    Degraded, ///< a budget axis expired; answer is best-so-far
 };
 
 /** Tuning and instrumentation knobs. */
@@ -55,12 +84,18 @@ struct SearchOptions
      */
     bool disable_bound_shrinking = false;
 
+    /** Node / wall-clock / cancellation limits for this run. */
+    SearchBudget budget;
+
     /**
-     * Stop after this many point expansions and report the best UOV
-     * found so far (the paper: "a compiler could limit the amount of
-     * time the algorithm runs and just take the best answer").
+     * Observer invoked whenever the incumbent improves (and once for
+     * the ov_o seed), with the new best vector, its objective, the
+     * nodes expanded so far, and elapsed microseconds.  Used by the
+     * anytime bench to record incumbent-over-time trajectories.
      */
-    uint64_t max_visits = 10'000'000;
+    std::function<void(const IVec &best, int64_t objective,
+                       uint64_t nodes, int64_t elapsed_us)>
+        on_incumbent;
 };
 
 /** Counters describing one search run. */
@@ -71,7 +106,7 @@ struct SearchStats
     uint64_t pruned = 0;         ///< expansions skipped by geometry
     uint64_t bound_updates = 0;  ///< times a better UOV shrank the bound
     uint64_t visits_to_best = 0; ///< expansions before the final best
-    bool hit_visit_cap = false;  ///< stopped early by max_visits
+    int64_t elapsed_us = 0;      ///< wall-clock time inside run()
 
     std::string str() const;
 };
@@ -82,7 +117,22 @@ struct SearchResult
     IVec best_uov;
     int64_t initial_objective = 0; ///< objective of ov_o
     int64_t best_objective = 0;    ///< objective of best_uov
+    SearchStatus status = SearchStatus::Optimal;
+
+    /**
+     * Which budget axis expired when status == Degraded:
+     * "node-budget", "deadline", or "cancelled".  Empty for Optimal.
+     */
+    std::string degraded_reason;
+
     SearchStats stats;
+
+    /** Whether a budget axis expired before the space was exhausted. */
+    bool
+    degraded() const
+    {
+        return status == SearchStatus::Degraded;
+    }
 };
 
 /** Branch-and-bound optimal-UOV search over one stencil. */

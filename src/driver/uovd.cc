@@ -17,9 +17,12 @@
  * --nest FILE converts a nest description (driver/nest_parser format)
  * into one shortest and one storage query over its statement-0
  * stencil and bounds, so existing corpora exercise the service path.
+ * An unreadable or unparsable nest file becomes an error response
+ * line, like any other bad request; the batch keeps going.
  *
- * Exit status: 0 when every request was answered, 1 when any response
- * is an error line, 2 on usage problems.
+ * Exit status: 0 when at least one request was answered, 1 when every
+ * request in a non-empty batch drew an error line, 2 on usage
+ * problems.
  */
 
 #include <fstream>
@@ -40,9 +43,9 @@ using namespace uov::service;
 namespace {
 
 void
-usage()
+usage(std::ostream &os)
 {
-    std::cout <<
+    os <<
         "uovd " << buildVersion() << " -- UOV query service\n"
         "usage: uovd [options]\n"
         "  --input FILE      read queries from FILE (default: stdin)\n"
@@ -55,6 +58,9 @@ usage()
         "  --cache-shards N  cache stripe count (default 16)\n"
         "  --no-cache        disable the result cache\n"
         "  --max-visits N    branch-and-bound visit cap per query\n"
+        "  --request-deadline-ms N  default per-request deadline\n"
+        "                    (lines may override with 'deadline_ms N';\n"
+        "                    -1 = unbounded, 0 = degrade immediately)\n"
         "  --metrics         dump the metrics table to stderr at exit\n"
         "  --metrics-json F  dump metrics as JSON to F ('-' = stderr)\n"
         "  --version         print the build version and exit\n";
@@ -62,13 +68,15 @@ usage()
 
 /** Statement-0 stencil + nest bounds, as protocol request objects. */
 std::vector<Request>
-requestsFromNest(const LoopNest &nest, size_t &next_index)
+requestsFromNest(const LoopNest &nest, size_t &next_index,
+                 int64_t deadline_ms)
 {
     Stencil stencil = extractStencil(nest, 0);
     Request shortest;
     shortest.index = ++next_index;
     shortest.objective = SearchObjective::ShortestVector;
     shortest.deps = stencil.deps();
+    shortest.deadline_ms = deadline_ms;
 
     Request storage;
     storage.index = ++next_index;
@@ -76,6 +84,7 @@ requestsFromNest(const LoopNest &nest, size_t &next_index)
     storage.deps = stencil.deps();
     storage.isg_lo = nest.lo();
     storage.isg_hi = nest.hi();
+    storage.deadline_ms = deadline_ms;
     return {shortest, storage};
 }
 
@@ -88,6 +97,7 @@ main(int argc, char **argv)
     std::vector<std::string> nest_paths;
     unsigned threads = 0;
     bool dump_metrics = false;
+    int64_t request_deadline_ms = -1;
     ServiceOptions options;
 
     auto next_arg = [&](int &i, const char *flag) -> std::string {
@@ -102,7 +112,7 @@ main(int argc, char **argv)
         std::string a = argv[i];
         try {
             if (a == "--help" || a == "-h") {
-                usage();
+                usage(std::cout);
                 return 0;
             } else if (a == "--version") {
                 std::cout << "uovd " << buildVersion() << "\n";
@@ -127,13 +137,16 @@ main(int argc, char **argv)
             } else if (a == "--max-visits") {
                 options.max_visits =
                     std::stoull(next_arg(i, "--max-visits"));
+            } else if (a == "--request-deadline-ms") {
+                request_deadline_ms =
+                    std::stoll(next_arg(i, "--request-deadline-ms"));
             } else if (a == "--metrics") {
                 dump_metrics = true;
             } else if (a == "--metrics-json") {
                 metrics_json_path = next_arg(i, "--metrics-json");
             } else {
                 std::cerr << "uovd: unknown option '" << a << "'\n";
-                usage();
+                usage(std::cerr);
                 return 2;
             }
         } catch (const std::logic_error &) {
@@ -147,19 +160,27 @@ main(int argc, char **argv)
     std::vector<Request> requests;
     size_t next_index = 0;
     for (const auto &path : nest_paths) {
+        // A bad nest file is one failed request, not a dead batch:
+        // it degrades to the same per-line error protocol malformed
+        // query lines use.
+        auto nest_error = [&](const std::string &message) {
+            Request failed;
+            failed.index = ++next_index;
+            failed.error = "nest '" + path + "': " + message;
+            requests.push_back(std::move(failed));
+        };
         std::ifstream in(path);
         if (!in) {
-            std::cerr << "uovd: cannot open nest file '" << path
-                      << "'\n";
-            return 2;
+            nest_error("cannot open file");
+            continue;
         }
         try {
             LoopNest nest = parseNest(in);
-            auto reqs = requestsFromNest(nest, next_index);
+            auto reqs = requestsFromNest(nest, next_index,
+                                         request_deadline_ms);
             requests.insert(requests.end(), reqs.begin(), reqs.end());
         } catch (const UovError &e) {
-            std::cerr << "uovd: " << path << ": " << e.what() << "\n";
-            return 2;
+            nest_error(e.what());
         }
     }
     if (nest_paths.empty() || !input_path.empty()) {
@@ -174,7 +195,8 @@ main(int argc, char **argv)
             }
             in = &file;
         }
-        std::vector<Request> parsed = parseRequests(*in);
+        std::vector<Request> parsed =
+            parseRequests(*in, request_deadline_ms);
         for (Request &r : parsed) {
             r.index = ++next_index;
             requests.push_back(std::move(r));
@@ -203,11 +225,11 @@ main(int argc, char **argv)
         }
         out = &out_file;
     }
-    bool any_error = false;
+    size_t error_lines = 0;
     for (const auto &line : responses) {
         *out << line << "\n";
         if (line.rfind("error ", 0) == 0)
-            any_error = true;
+            ++error_lines;
     }
 
     if (dump_metrics)
@@ -225,5 +247,9 @@ main(int argc, char **argv)
             mf << metrics.json() << "\n";
         }
     }
-    return any_error ? 1 : 0;
+    // Partial failure is success: only an all-error batch (every
+    // request drew an error line) exits nonzero.
+    bool all_errored = !responses.empty() &&
+                       error_lines == responses.size();
+    return all_errored ? 1 : 0;
 }

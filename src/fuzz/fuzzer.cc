@@ -24,6 +24,8 @@ oracleName(OracleKind kind)
         return "streaming";
       case OracleKind::Service:
         return "service";
+      case OracleKind::Fault:
+        return "fault";
     }
     UOV_UNREACHABLE("bad oracle kind");
 }
@@ -34,7 +36,7 @@ parseOracleName(const std::string &name)
     for (OracleKind k :
          {OracleKind::Membership, OracleKind::Search,
           OracleKind::Mapping, OracleKind::Streaming,
-          OracleKind::Service}) {
+          OracleKind::Service, OracleKind::Fault}) {
         if (name == oracleName(k))
             return k;
     }
@@ -56,6 +58,8 @@ runOracle(OracleKind kind, const FuzzCase &c)
             return checkStreaming(c.seed);
           case OracleKind::Service:
             return checkService(c);
+          case OracleKind::Fault:
+            return checkFault(c);
         }
         UOV_UNREACHABLE("bad oracle kind");
     } catch (const UovError &e) {

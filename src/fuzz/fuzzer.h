@@ -1,7 +1,7 @@
 /**
  * @file
  * The differential fuzzing harness: corpus replay + seeded random
- * sweep over the five oracle families, with automatic shrinking of
+ * sweep over the six oracle families, with automatic shrinking of
  * anything that fails.
  *
  * One harness serves three masters: the uovfuzz CLI (soak runs and
@@ -27,7 +27,7 @@
 namespace uov {
 namespace fuzz {
 
-/** The five differential oracle families. */
+/** The six differential oracle families. */
 enum class OracleKind
 {
     Membership, ///< isUov vs DONE/DEAD vs brute force vs certificates
@@ -35,15 +35,16 @@ enum class OracleKind
     Mapping,    ///< storage mappings executed under legal schedules
     Streaming,  ///< fused simulation vs record-then-replay vs direct
     Service,    ///< concurrent cached QueryService vs direct search
+    Fault,      ///< batches under fail points and random deadlines
 };
 
 /** Number of OracleKind values (the random sweep cycles them all). */
-constexpr size_t kOracleKindCount = 5;
+constexpr size_t kOracleKindCount = 6;
 
 const char *oracleName(OracleKind kind);
 
 /** Parse "membership" | "search" | "mapping" | "streaming" |
- *  "service". */
+ *  "service" | "fault". */
 std::optional<OracleKind> parseOracleName(const std::string &name);
 
 /** Harness configuration. */
@@ -51,7 +52,7 @@ struct FuzzOptions
 {
     uint64_t seed = 1;
     uint64_t iters = 100;
-    /** Restrict to one oracle; nullopt cycles through all five. */
+    /** Restrict to one oracle; nullopt cycles through all six. */
     std::optional<OracleKind> only;
     bool shrink = true;
     GenOptions gen;

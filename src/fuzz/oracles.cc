@@ -20,6 +20,7 @@
 #include "sim/streaming.h"
 #include "sim/trace.h"
 #include "support/error.h"
+#include "support/failpoint.h"
 #include "support/thread_pool.h"
 
 namespace uov {
@@ -323,7 +324,7 @@ checkSearch(const FuzzCase &c)
             ball *= static_cast<double>(2 * radius + 1);
         bool small_ball = ball <= 40'000;
         if (!small_ball)
-            base.max_visits = 2'000;
+            base.budget.max_nodes = 2'000;
 
         SearchOptions fifo = base;
         fifo.use_priority_queue = false;
@@ -343,8 +344,8 @@ checkSearch(const FuzzCase &c)
                 return std::string(obj_name) + " search over " +
                        s.str() + " ended worse than the initial UOV";
         }
-        if (!small_ball || bb.stats.hit_visit_cap ||
-            ff.stats.hit_visit_cap || ns.stats.hit_visit_cap)
+        if (!small_ball || bb.degraded() || ff.degraded() ||
+            ns.degraded())
             continue;
         if (ff.best_objective != bb.best_objective)
             return std::string(obj_name) + " FIFO ablation over " +
@@ -710,6 +711,201 @@ checkService(const FuzzCase &c)
                        "coalesced onto a flight, nor computed)";
         }
     }
+    return std::nullopt;
+}
+
+namespace {
+
+/** Parse "best=(a, b, ...)" out of an answer line. */
+std::optional<IVec>
+parseBestVector(const std::string &line)
+{
+    size_t open = line.find("best=(");
+    if (open == std::string::npos)
+        return std::nullopt;
+    size_t close = line.find(')', open);
+    if (close == std::string::npos)
+        return std::nullopt;
+    std::vector<int64_t> coords;
+    std::stringstream ss(
+        line.substr(open + 6, close - open - 6));
+    std::string part;
+    while (std::getline(ss, part, ',')) {
+        try {
+            coords.push_back(std::stoll(part));
+        } catch (const std::logic_error &) {
+            return std::nullopt;
+        }
+    }
+    if (coords.empty())
+        return std::nullopt;
+    return IVec(std::move(coords));
+}
+
+/** Parse " key=<int>" out of a response line. */
+std::optional<int64_t>
+parseField(const std::string &line, const std::string &key)
+{
+    std::string tag = " " + key + "=";
+    size_t at = line.find(tag);
+    if (at == std::string::npos)
+        return std::nullopt;
+    try {
+        return std::stoll(line.substr(at + tag.size()));
+    } catch (const std::logic_error &) {
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+OracleVerdict
+checkFault(const FuzzCase &c)
+{
+    if (!c.valid())
+        return std::nullopt;
+
+    // Everything stochastic below derives from the case seed, so a
+    // failure replays from the seed alone -- including the fail-point
+    // streams, which are seeded registries, not wall-clock noise.
+    SplitMix64 rng(c.seed ^ 0xfa17faa57ULL);
+    constexpr uint64_t kVisitCap = 2'000;
+    Stencil s = c.stencil();
+    UovOracle oracle(s);
+
+    // The batch: presentations of the case stencil under random
+    // deadlines, plus a malformed line and an input-invalid query.
+    // Presentations reorder/duplicate only, so every answer vector
+    // must be universal for the original stencil.
+    constexpr int64_t kDeadlines[] = {-1, -1, 0, 1, 3};
+    auto draw_deadline = [&] {
+        return kDeadlines[rng.nextBelow(5)];
+    };
+    std::vector<service::Request> reqs;
+    auto add = [&](std::vector<IVec> deps, SearchObjective obj) {
+        service::Request r;
+        r.index = reqs.size() + 1;
+        r.deps = std::move(deps);
+        r.objective = obj;
+        r.deadline_ms = draw_deadline();
+        if (obj == SearchObjective::BoundedStorage) {
+            r.isg_lo = c.lo;
+            r.isg_hi = c.hi;
+        }
+        reqs.push_back(std::move(r));
+    };
+    std::vector<IVec> rev(c.deps.rbegin(), c.deps.rend());
+    std::vector<IVec> dup = c.deps;
+    dup.push_back(c.deps.front());
+    for (SearchObjective obj : {SearchObjective::ShortestVector,
+                                SearchObjective::BoundedStorage}) {
+        add(c.deps, obj);
+        add(rev, obj);
+        add(dup, obj);
+    }
+    reqs.push_back(service::parseRequestLine("query bogus",
+                                             reqs.size() + 1));
+    {
+        // Well-formed but input-invalid: the zero vector is rejected
+        // by Stencil's constructor at solve time, not parse time.
+        service::Request bad;
+        bad.index = reqs.size() + 1;
+        bad.deps = {IVec(c.deps.front().dim())};
+        bad.deadline_ms = draw_deadline();
+        reqs.push_back(std::move(bad));
+    }
+
+    // Seed-derived fail-point configuration over every registered
+    // site; probability 0 keeps a site effectively disarmed.
+    constexpr const char *kSites[] = {"cache_insert", "task_start",
+                                      "answer_render"};
+    constexpr double kProbs[] = {0.0, 0.25, 1.0};
+    {
+        failpoint::ScopedFailPoints scope;
+        for (const char *site : kSites) {
+            failpoint::Config config;
+            config.probability = kProbs[rng.nextBelow(3)];
+            config.seed = rng.next();
+            config.action = rng.nextBelow(2) == 0
+                                ? failpoint::Action::Throw
+                                : failpoint::Action::Delay;
+            config.delay_ms = 1;
+            failpoint::Registry::instance().arm(site, config);
+        }
+
+        service::ServiceOptions so;
+        so.cache_bytes = rng.nextBelow(2) == 0 ? 0 : (64u << 20);
+        so.cache_shards = rng.nextBelow(2) == 0 ? 1 : 16;
+        so.max_visits = kVisitCap;
+        service::MetricsRegistry metrics;
+        service::QueryService svc(so, metrics);
+        ThreadPool pool(1 + static_cast<unsigned>(rng.nextBelow(4)));
+        std::vector<std::string> got =
+            service::runBatch(svc, reqs, pool);
+
+        if (got.size() != reqs.size())
+            return "fault batch of " + std::to_string(reqs.size()) +
+                   " requests drew " + std::to_string(got.size()) +
+                   " responses";
+        for (size_t i = 0; i < got.size(); ++i) {
+            const std::string &line = got[i];
+            std::string idx = std::to_string(i + 1);
+            bool is_answer = line.rfind("answer " + idx + " ", 0) == 0;
+            bool is_error = line.rfind("error " + idx + " ", 0) == 0;
+            if (!is_answer && !is_error)
+                return "response " + idx +
+                       " is mis-ordered or mangled: '" + line + "'";
+            if (!is_answer)
+                continue;
+            if (i >= 6)
+                return "deliberately bad request " + idx +
+                       " drew an answer: '" + line + "'";
+            auto best = parseBestVector(line);
+            auto value = parseField(line, "value");
+            auto initial = parseField(line, "initial");
+            if (!best || !value || !initial)
+                return "unparsable answer line '" + line + "'";
+            if (!oracle.isUov(*best))
+                return "fault answer '" + line +
+                       "' is not universal for " + s.str();
+            if (*value > *initial)
+                return "fault answer '" + line +
+                       "' is worse than the ov_o fallback";
+        }
+
+        // Reconciliation: every batch line lands in exactly one
+        // response class.
+        uint64_t optimal =
+            metrics.counter("service.optimal").value();
+        uint64_t degraded =
+            metrics.counter("service.degraded").value();
+        uint64_t errors =
+            metrics.counter("service.request_errors").value();
+        if (optimal + degraded + errors != reqs.size())
+            return "optimal " + std::to_string(optimal) +
+                   " + degraded " + std::to_string(degraded) +
+                   " + request_errors " + std::to_string(errors) +
+                   " != " + std::to_string(reqs.size()) + " requests";
+    }
+
+    // With fail points cleared, the deterministic deadline classes
+    // (unbounded and 0 ms) must keep the byte-identity contract --
+    // including error and degraded response lines.
+    for (service::Request &r : reqs)
+        if (r.deadline_ms > 0)
+            r.deadline_ms = rng.nextBelow(2) == 0 ? -1 : 0;
+    std::vector<std::string> direct =
+        service::runBatchDirect(reqs, kVisitCap);
+    service::ServiceOptions so;
+    so.max_visits = kVisitCap;
+    service::MetricsRegistry metrics;
+    service::QueryService svc(so, metrics);
+    ThreadPool pool(2);
+    std::vector<std::string> got = service::runBatch(svc, reqs, pool);
+    for (size_t i = 0; i < reqs.size(); ++i)
+        if (got[i] != direct[i])
+            return "deterministic replay diverged: service '" +
+                   got[i] + "' vs direct '" + direct[i] + "'";
     return std::nullopt;
 }
 

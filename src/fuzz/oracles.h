@@ -79,6 +79,19 @@ OracleVerdict checkMapping(const FuzzCase &c);
 OracleVerdict checkService(const FuzzCase &c);
 
 /**
+ * Fault-injection oracle: replays a batch (presentations of the case
+ * stencil plus deliberately bad lines) through the service under
+ * seed-derived fail-point configurations and per-request deadlines.
+ * Asserts the robustness contract rather than exact answers: every
+ * request draws exactly one response, in order; every answer line
+ * carries an isUov-verified vector no worse than ov_o; the
+ * optimal/degraded/request_errors counters sum to the batch size;
+ * and with fail points disabled, deadline 0 and unbounded batches
+ * stay byte-identical to the direct path.
+ */
+OracleVerdict checkFault(const FuzzCase &c);
+
+/**
  * The streaming oracle draws its own kernel configuration (stencil5
  * or PSM, sizes, variant) from the seed; it has no stencil-shaped
  * input to shrink.

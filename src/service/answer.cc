@@ -15,6 +15,7 @@ ServiceAnswer::byteSize() const
 {
     size_t bytes = sizeof(ServiceAnswer);
     bytes += best_uov.dim() * sizeof(int64_t);
+    bytes += degraded_reason.size();
     for (const auto &row : cert)
         bytes += sizeof(row) + row.size() * sizeof(int64_t);
     return bytes;
@@ -27,8 +28,8 @@ ServiceAnswer::str() const
     oss << "best=" << best_uov << " value=" << best_objective
         << " initial=" << initial_objective
         << " canon=" << canonical_deps;
-    if (hit_visit_cap)
-        oss << " capped=1";
+    if (degraded)
+        oss << " degraded=" << degraded_reason;
     oss << " cert=";
     for (size_t i = 0; i < cert.size(); ++i) {
         if (i)
@@ -45,10 +46,11 @@ ServiceAnswer::str() const
 ServiceAnswer
 solveCanonical(const Stencil &canonical, SearchObjective objective,
                const std::optional<IVec> &isg_lo,
-               const std::optional<IVec> &isg_hi, uint64_t max_visits)
+               const std::optional<IVec> &isg_hi,
+               const SearchBudget &budget)
 {
     SearchOptions options;
-    options.max_visits = max_visits;
+    options.budget = budget;
     if (objective == SearchObjective::BoundedStorage) {
         UOV_REQUIRE(isg_lo.has_value() && isg_hi.has_value(),
                     "storage objective requires ISG bounds");
@@ -62,7 +64,8 @@ solveCanonical(const Stencil &canonical, SearchObjective objective,
     answer.best_objective = result.best_objective;
     answer.initial_objective = result.initial_objective;
     answer.canonical_deps = canonical.size();
-    answer.hit_visit_cap = result.stats.hit_visit_cap;
+    answer.degraded = result.degraded();
+    answer.degraded_reason = result.degraded_reason;
 
     UovOracle oracle(canonical);
     auto cert = oracle.certify(result.best_uov);
@@ -77,10 +80,11 @@ solveCanonical(const Stencil &canonical, SearchObjective objective,
 ServiceAnswer
 solveDirect(const Stencil &stencil, SearchObjective objective,
             const std::optional<IVec> &isg_lo,
-            const std::optional<IVec> &isg_hi, uint64_t max_visits)
+            const std::optional<IVec> &isg_hi,
+            const SearchBudget &budget)
 {
     return solveCanonical(canonicalizeStencil(stencil), objective,
-                          isg_lo, isg_hi, max_visits);
+                          isg_lo, isg_hi, budget);
 }
 
 } // namespace service

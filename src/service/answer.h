@@ -35,7 +35,12 @@ struct ServiceAnswer
     int64_t best_objective = 0;
     int64_t initial_objective = 0; ///< objective of the trivial ov_o
     size_t canonical_deps = 0;     ///< |canonical stencil|
-    bool hit_visit_cap = false;    ///< anytime answer (still certified)
+
+    /** Anytime answer: a budget axis expired (still certified). */
+    bool degraded = false;
+
+    /** Which budget axis ("node-budget", "deadline", "cancelled"). */
+    std::string degraded_reason;
 
     /**
      * Per-dependence coefficient rows over the *canonical* stencil:
@@ -54,14 +59,15 @@ struct ServiceAnswer
 
 /**
  * Solve an already-canonical stencil: branch-and-bound search plus a
- * verified certificate.  @p max_visits bounds the search (the
- * answer degrades to the best certified UOV found, never fails).
+ * verified certificate.  @p budget bounds the search (the answer
+ * degrades to the best certified UOV found, never fails -- the ov_o
+ * seed guarantees a legal incumbent even at a 0 ms deadline).
  */
 ServiceAnswer solveCanonical(const Stencil &canonical,
                              SearchObjective objective,
                              const std::optional<IVec> &isg_lo,
                              const std::optional<IVec> &isg_hi,
-                             uint64_t max_visits = 10'000'000);
+                             const SearchBudget &budget = {});
 
 /**
  * The reference path: canonicalize, then solveCanonical.  Everything
@@ -72,7 +78,7 @@ ServiceAnswer solveDirect(const Stencil &stencil,
                           SearchObjective objective,
                           const std::optional<IVec> &isg_lo,
                           const std::optional<IVec> &isg_hi,
-                          uint64_t max_visits = 10'000'000);
+                          const SearchBudget &budget = {});
 
 } // namespace service
 } // namespace uov

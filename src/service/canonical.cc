@@ -64,8 +64,8 @@ canonicalizeStencil(const Stencil &s)
 bool
 CanonicalKey::operator==(const CanonicalKey &o) const
 {
-    return objective == o.objective && deps == o.deps &&
-           isg_lo == o.isg_lo && isg_hi == o.isg_hi;
+    return objective == o.objective && deadline_ms == o.deadline_ms &&
+           deps == o.deps && isg_lo == o.isg_lo && isg_hi == o.isg_hi;
 }
 
 size_t
@@ -78,6 +78,7 @@ CanonicalKey::hash() const
         h *= 0x100000001b3ULL;
     };
     mix(static_cast<size_t>(objective));
+    mix(static_cast<size_t>(deadline_ms));
     for (const auto &v : deps)
         mix(IVecHash{}(v));
     if (isg_lo)
@@ -109,13 +110,15 @@ CanonicalKey::str() const
         oss << " " << v;
     if (isg_lo && isg_hi)
         oss << " box " << *isg_lo << ".." << *isg_hi;
+    if (deadline_ms >= 0)
+        oss << " deadline_ms " << deadline_ms;
     return oss.str();
 }
 
 CanonicalKey
 makeKey(const Stencil &canonical, SearchObjective objective,
         const std::optional<IVec> &isg_lo,
-        const std::optional<IVec> &isg_hi)
+        const std::optional<IVec> &isg_hi, int64_t deadline_ms)
 {
     UOV_REQUIRE(objective != SearchObjective::BoundedStorage ||
                     (isg_lo.has_value() && isg_hi.has_value()),
@@ -127,6 +130,7 @@ makeKey(const Stencil &canonical, SearchObjective objective,
         key.isg_lo = isg_lo;
         key.isg_hi = isg_hi;
     }
+    key.deadline_ms = deadline_ms < 0 ? -1 : deadline_ms;
     return key;
 }
 

@@ -63,10 +63,14 @@ namespace service {
 Stencil canonicalizeStencil(const Stencil &s);
 
 /**
- * A result-cache key: canonical dependence set, objective, and (for
- * BoundedStorage) the ISG box.  Key-equal queries receive the
- * identical answer -- the service computes on the canonical stencil,
- * and objectives/bounds are part of the key.
+ * A result-cache key: canonical dependence set, objective, (for
+ * BoundedStorage) the ISG box, and the request deadline class.
+ * Key-equal queries receive the identical answer -- the service
+ * computes on the canonical stencil, and objectives/bounds are part
+ * of the key.  The deadline is part of the key because a
+ * deadline-degraded answer is only valid for queries with the same
+ * budget: caching a 0 ms answer for an unbounded query would
+ * silently pessimize it, and vice versa.
  */
 struct CanonicalKey
 {
@@ -74,6 +78,7 @@ struct CanonicalKey
     SearchObjective objective = SearchObjective::ShortestVector;
     std::optional<IVec> isg_lo; ///< set iff objective == BoundedStorage
     std::optional<IVec> isg_hi;
+    int64_t deadline_ms = -1;   ///< per-request budget; -1 = unbounded
 
     bool operator==(const CanonicalKey &o) const;
 
@@ -93,7 +98,8 @@ struct CanonicalKeyHash
 /** Build the cache key for an (already canonical) stencil. */
 CanonicalKey makeKey(const Stencil &canonical, SearchObjective objective,
                      const std::optional<IVec> &isg_lo,
-                     const std::optional<IVec> &isg_hi);
+                     const std::optional<IVec> &isg_hi,
+                     int64_t deadline_ms = -1);
 
 } // namespace service
 } // namespace uov

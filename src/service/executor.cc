@@ -1,11 +1,14 @@
 #include "service/executor.h"
 
+#include <chrono>
 #include <functional>
 #include <future>
 #include <istream>
 #include <sstream>
 
 #include "support/error.h"
+#include "support/failpoint.h"
+#include "support/logging.h"
 
 namespace uov {
 namespace service {
@@ -90,11 +93,15 @@ answerRequest(const Request &request, const SolveFn &solve)
     try {
         Stencil stencil(request.deps);
         ServiceAnswer answer = solve(stencil);
+        failpoint::fire("answer_render");
         oss << "answer " << request.index << " " << answer.str();
     } catch (const UovUserError &e) {
         oss.str("");
         oss << "error " << request.index << " " << e.what();
     } catch (const UovOverflowError &e) {
+        oss.str("");
+        oss << "error " << request.index << " " << e.what();
+    } catch (const failpoint::FailPointError &e) {
         oss.str("");
         oss << "error " << request.index << " " << e.what();
     }
@@ -104,10 +111,12 @@ answerRequest(const Request &request, const SolveFn &solve)
 } // namespace
 
 Request
-parseRequestLine(const std::string &line, size_t index)
+parseRequestLine(const std::string &line, size_t index,
+                 int64_t default_deadline_ms)
 {
     Request r;
     r.index = index;
+    r.deadline_ms = default_deadline_ms < 0 ? -1 : default_deadline_ms;
     auto fail = [&](const std::string &msg) {
         r.error = msg;
         return r;
@@ -131,6 +140,18 @@ parseRequestLine(const std::string &line, size_t index)
 
     if (!(ss >> tok))
         return fail("missing 'deps'");
+
+    if (tok == "deadline_ms") {
+        if (!(ss >> tok))
+            return fail("'deadline_ms' needs a millisecond count");
+        int64_t ms;
+        if (!parseInt(tok, ms) || ms < -1)
+            return fail("bad deadline '" + tok +
+                        "', expected -1 or a millisecond count");
+        r.deadline_ms = ms;
+        if (!(ss >> tok))
+            return fail("missing 'deps'");
+    }
 
     if (tok == "bounds") {
         std::vector<int64_t> los, his;
@@ -178,7 +199,7 @@ parseRequestLine(const std::string &line, size_t index)
 }
 
 std::vector<Request>
-parseRequests(std::istream &in)
+parseRequests(std::istream &in, int64_t default_deadline_ms)
 {
     std::vector<Request> requests;
     std::string raw;
@@ -186,7 +207,8 @@ parseRequests(std::istream &in)
         std::string line = cleanLine(raw);
         if (line.empty())
             continue;
-        requests.push_back(parseRequestLine(line, requests.size() + 1));
+        requests.push_back(parseRequestLine(line, requests.size() + 1,
+                                            default_deadline_ms));
     }
     return requests;
 }
@@ -196,8 +218,84 @@ runRequest(QueryService &service, const Request &request)
 {
     return answerRequest(request, [&](const Stencil &s) {
         return service.query(s, request.objective, request.isg_lo,
-                             request.isg_hi);
+                             request.isg_hi, request.deadline_ms);
     });
+}
+
+Watchdog::Watchdog(int64_t poll_ms, Counter *overdue)
+    : _overdue(overdue)
+{
+    if (poll_ms > 0)
+        _thread = std::thread([this, poll_ms] { loop(poll_ms); });
+}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _cv.notify_all();
+    if (_thread.joinable())
+        _thread.join();
+}
+
+void
+Watchdog::loop(int64_t poll_ms)
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    while (!_stop) {
+        _cv.wait_for(lock, std::chrono::milliseconds(poll_ms),
+                     [this] { return _stop; });
+        if (_stop)
+            return;
+        lock.unlock();
+        flagOverdue();
+        lock.lock();
+    }
+}
+
+void
+Watchdog::start(size_t index, int64_t deadline_ms)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Entry entry;
+    entry.started = Deadline::Clock::now();
+    entry.deadline_ms = deadline_ms;
+    _entries[index] = entry;
+}
+
+void
+Watchdog::finish(size_t index)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _entries.erase(index);
+}
+
+size_t
+Watchdog::flagOverdue()
+{
+    size_t flagged = 0;
+    auto now = Deadline::Clock::now();
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (auto &[index, entry] : _entries) {
+        if (entry.flagged || entry.deadline_ms < 0)
+            continue;
+        auto running =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - entry.started)
+                .count();
+        if (running < 2 * entry.deadline_ms)
+            continue;
+        entry.flagged = true;
+        ++flagged;
+        if (_overdue != nullptr)
+            _overdue->inc();
+        UOV_LOG_WARN("watchdog: request " << index << " still running "
+                     << running << " ms after its "
+                     << entry.deadline_ms << " ms deadline");
+    }
+    return flagged;
 }
 
 std::vector<std::string>
@@ -206,34 +304,58 @@ runBatch(QueryService &service, const std::vector<Request> &requests,
 {
     std::vector<std::string> responses(requests.size());
     Gauge &depth = service.metrics().gauge("service.queue_depth");
+    Watchdog watchdog(
+        25, &service.metrics().counter("service.watchdog.overdue"));
+    uint64_t fires_before =
+        failpoint::Registry::instance().totalFires();
+
     std::vector<std::future<void>> futures;
     futures.reserve(requests.size());
     for (size_t i = 0; i < requests.size(); ++i) {
         depth.add(1);
         futures.push_back(pool.submit([&service, &requests, &responses,
-                                       &depth, i] {
+                                       &watchdog, &depth, i] {
+            const Request &request = requests[i];
+            // Per-request error isolation: whatever this request
+            // throws -- an armed fail point, even an internal error
+            // -- becomes its own error line; the batch always runs
+            // to completion.
             try {
-                responses[i] = runRequest(service, requests[i]);
-            } catch (...) {
-                depth.sub(1);
-                throw;
+                failpoint::fire("task_start");
+                watchdog.start(i, request.deadline_ms);
+                responses[i] = runRequest(service, request);
+            } catch (const std::exception &e) {
+                responses[i] = "error " +
+                               std::to_string(request.index) + " " +
+                               e.what();
             }
+            watchdog.finish(i);
             depth.sub(1);
         }));
     }
-    // Drain every future before unwinding (tasks capture locals),
-    // then surface the first internal error.
-    std::exception_ptr first;
-    for (auto &f : futures) {
-        try {
-            f.get();
-        } catch (...) {
-            if (!first)
-                first = std::current_exception();
-        }
+    // Drain every future before unwinding (tasks capture locals).
+    for (auto &f : futures)
+        f.get();
+
+    // Classify every response exactly once; the three counters sum
+    // to the batch size (asserted by the fault fuzz oracle).
+    Counter &optimal = service.metrics().counter("service.optimal");
+    Counter &degraded =
+        service.metrics().counter("service.degraded");
+    Counter &errors =
+        service.metrics().counter("service.request_errors");
+    for (const std::string &response : responses) {
+        if (response.rfind("error ", 0) == 0)
+            errors.inc();
+        else if (response.find(" degraded=") != std::string::npos)
+            degraded.inc();
+        else
+            optimal.inc();
     }
-    if (first)
-        std::rethrow_exception(first);
+    uint64_t fires_after = failpoint::Registry::instance().totalFires();
+    if (fires_after > fires_before)
+        service.metrics().counter("service.failpoint_fires")
+            .inc(fires_after - fires_before);
     return responses;
 }
 
@@ -244,8 +366,11 @@ runBatchDirect(const std::vector<Request> &requests, uint64_t max_visits)
     responses.reserve(requests.size());
     for (const Request &r : requests) {
         responses.push_back(answerRequest(r, [&](const Stencil &s) {
+            SearchBudget budget;
+            budget.max_nodes = max_visits;
+            budget.deadline = Deadline::afterMillis(r.deadline_ms);
             return solveDirect(s, r.objective, r.isg_lo, r.isg_hi,
-                               max_visits);
+                               budget);
         }));
     }
     return responses;

@@ -11,6 +11,8 @@
  *     query shortest deps [1,0] [0,1] [1,1]
  *     # best UOV by storage cells over the bounded ISG
  *     query storage bounds 0..17 0..99 deps [1,-2] [1,-1] [1,0] [1,1] [1,2]
+ *     # anytime: degrade to the best answer found within 5 ms
+ *     query shortest deadline_ms 5 deps [1,-1] [1,0] [1,1]
  *
  * Responses are written strictly in request order, one line each:
  *
@@ -18,19 +20,28 @@
  *     error <idx> <message>
  *
  * so output is byte-deterministic for a given input at every thread
- * count.  A malformed line yields an error response (the batch keeps
- * going); the error text is part of the deterministic contract.
+ * count (deadline_ms 0 and unbounded requests included; a positive
+ * wall-clock deadline only promises a certified answer no worse than
+ * ov_o).  A malformed or throwing request yields an error response
+ * and the batch keeps going; the error text is part of the
+ * deterministic contract.
  */
 
 #ifndef UOV_SERVICE_EXECUTOR_H
 #define UOV_SERVICE_EXECUTOR_H
 
+#include <condition_variable>
+#include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "service/service.h"
+#include "support/deadline.h"
 #include "support/thread_pool.h"
 
 namespace uov {
@@ -45,16 +56,66 @@ struct Request
     SearchObjective objective = SearchObjective::ShortestVector;
     std::optional<IVec> isg_lo;
     std::optional<IVec> isg_hi;
+    int64_t deadline_ms = -1; ///< wall-clock budget; -1 = unbounded
 };
 
 /**
  * Parse every request line in @p in.  Never throws: malformed lines
- * become Requests carrying an error message.
+ * become Requests carrying an error message.  Lines without an
+ * explicit deadline_ms clause inherit @p default_deadline_ms.
  */
-std::vector<Request> parseRequests(std::istream &in);
+std::vector<Request> parseRequests(std::istream &in,
+                                   int64_t default_deadline_ms = -1);
 
 /** Parse one request line (no comment/blank handling). */
-Request parseRequestLine(const std::string &line, size_t index);
+Request parseRequestLine(const std::string &line, size_t index,
+                         int64_t default_deadline_ms = -1);
+
+/**
+ * Tracks in-flight requests and logs any still running past 2x their
+ * deadline -- a stuck search is diagnosed while it is stuck, not
+ * after.  A background thread polls every @p poll_ms; 0 disables the
+ * thread so tests can drive flagOverdue() deterministically.
+ */
+class Watchdog
+{
+  public:
+    explicit Watchdog(int64_t poll_ms = 25,
+                      Counter *overdue = nullptr);
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /** Register request @p index as running now. */
+    void start(size_t index, int64_t deadline_ms);
+
+    /** Unregister a finished request. */
+    void finish(size_t index);
+
+    /**
+     * Scan for requests past 2x deadline; each is warned about (and
+     * counted) once.  Returns how many were newly flagged.
+     */
+    size_t flagOverdue();
+
+  private:
+    void loop(int64_t poll_ms);
+
+    struct Entry
+    {
+        Deadline::Clock::time_point started;
+        int64_t deadline_ms = -1;
+        bool flagged = false;
+    };
+
+    std::mutex _mutex;
+    std::condition_variable _cv;
+    std::unordered_map<size_t, Entry> _entries;
+    Counter *_overdue;
+    bool _stop = false;
+    std::thread _thread;
+};
 
 /**
  * Answer one request through the service; returns the full response
@@ -69,6 +130,13 @@ std::string runRequest(QueryService &service, const Request &request);
  * queries coalesce inside the service).  Responses are returned in
  * request order.  The pool's queue depth is tracked in the service's
  * "service.queue_depth" gauge.
+ *
+ * Error isolation: every exception a request raises -- bad input, an
+ * armed fail point, even an internal error -- becomes that request's
+ * "error <idx> ..." line; the batch always completes.  Each response
+ * is classified into exactly one of the "service.optimal",
+ * "service.degraded", or "service.request_errors" counters, so the
+ * three always sum to the batch size.
  */
 std::vector<std::string> runBatch(QueryService &service,
                                   const std::vector<Request> &requests,

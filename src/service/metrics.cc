@@ -1,10 +1,60 @@
 #include "service/metrics.h"
 
 #include <bit>
+#include <iomanip>
 #include <sstream>
 
 namespace uov {
 namespace service {
+
+namespace {
+
+/**
+ * JSON string escaping for metric names: quotes, backslashes, and
+ * control characters (names are caller-chosen, so the dump must not
+ * trust them to be JSON-clean).
+ */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream oss;
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            oss << "\\\"";
+            break;
+          case '\\':
+            oss << "\\\\";
+            break;
+          case '\b':
+            oss << "\\b";
+            break;
+          case '\f':
+            oss << "\\f";
+            break;
+          case '\n':
+            oss << "\\n";
+            break;
+          case '\r':
+            oss << "\\r";
+            break;
+          case '\t':
+            oss << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                oss << "\\u" << std::hex << std::setw(4)
+                    << std::setfill('0') << static_cast<int>(c)
+                    << std::dec;
+            } else {
+                oss << c;
+            }
+        }
+    }
+    return oss.str();
+}
+
+} // namespace
 
 void
 Histogram::observe(uint64_t v)
@@ -116,21 +166,22 @@ MetricsRegistry::json() const
     oss << "{\"counters\":{";
     bool first = true;
     for (const auto &[name, c] : _counters) {
-        oss << (first ? "" : ",") << "\"" << name
+        oss << (first ? "" : ",") << "\"" << jsonEscape(name)
             << "\":" << c->value();
         first = false;
     }
     oss << "},\"gauges\":{";
     first = true;
     for (const auto &[name, g] : _gauges) {
-        oss << (first ? "" : ",") << "\"" << name
+        oss << (first ? "" : ",") << "\"" << jsonEscape(name)
             << "\":" << g->value();
         first = false;
     }
     oss << "},\"histograms\":{";
     first = true;
     for (const auto &[name, h] : _histograms) {
-        oss << (first ? "" : ",") << "\"" << name << "\":{\"count\":"
+        oss << (first ? "" : ",") << "\"" << jsonEscape(name)
+            << "\":{\"count\":"
             << h->count() << ",\"sum\":" << h->sum()
             << ",\"p50_le\":" << h->quantileUpperBound(0.5)
             << ",\"p99_le\":" << h->quantileUpperBound(0.99) << "}";

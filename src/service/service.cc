@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "support/failpoint.h"
+
 namespace uov {
 namespace service {
 
@@ -13,6 +15,7 @@ QueryService::QueryService(ServiceOptions options,
       _searches(metrics.counter("service.searches")),
       _coalesced(metrics.counter("service.singleflight.coalesced")),
       _canon_removed(metrics.counter("service.canon.removed_deps")),
+      _timeouts(metrics.counter("service.timeouts")),
       _latency_us(metrics.histogram("service.latency_us"))
 {
 }
@@ -20,7 +23,8 @@ QueryService::QueryService(ServiceOptions options,
 ServiceAnswer
 QueryService::query(const Stencil &stencil, SearchObjective objective,
                     const std::optional<IVec> &isg_lo,
-                    const std::optional<IVec> &isg_hi)
+                    const std::optional<IVec> &isg_hi,
+                    int64_t deadline_ms)
 {
     auto start = std::chrono::steady_clock::now();
     _requests.inc();
@@ -28,7 +32,8 @@ QueryService::query(const Stencil &stencil, SearchObjective objective,
     Stencil canonical = canonicalizeStencil(stencil);
     if (canonical.size() < stencil.size())
         _canon_removed.inc(stencil.size() - canonical.size());
-    CanonicalKey key = makeKey(canonical, objective, isg_lo, isg_hi);
+    CanonicalKey key =
+        makeKey(canonical, objective, isg_lo, isg_hi, deadline_ms);
 
     auto finish = [&](const ServiceAnswer &answer) {
         auto us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -71,11 +76,18 @@ QueryService::query(const Stencil &stencil, SearchObjective objective,
     ServiceAnswer answer;
     std::exception_ptr error;
     try {
+        SearchBudget budget;
+        budget.max_nodes = _options.max_visits;
+        budget.deadline = Deadline::afterMillis(deadline_ms);
         answer = solveCanonical(canonical, objective, isg_lo, isg_hi,
-                                _options.max_visits);
+                                budget);
         _searches.inc();
-        if (use_cache)
+        if (answer.degraded && answer.degraded_reason == "deadline")
+            _timeouts.inc();
+        if (use_cache) {
+            failpoint::fire("cache_insert");
             _cache.insert(key, answer);
+        }
     } catch (...) {
         error = std::current_exception();
     }

@@ -45,7 +45,7 @@ struct ServiceOptions
     size_t cache_bytes = 64ull << 20;
     /** Cache stripe count (rounded up to a power of two). */
     size_t cache_shards = 16;
-    /** Branch-and-bound visit cap per query (anytime answers). */
+    /** Branch-and-bound node budget per query (anytime answers). */
     uint64_t max_visits = 10'000'000;
 };
 
@@ -56,9 +56,15 @@ class QueryService
     QueryService(ServiceOptions options, MetricsRegistry &metrics);
 
     /**
-     * Answer one query.  Deterministic: the result equals
-     * solveDirect(stencil, objective, bounds, max_visits) regardless
-     * of cache state or concurrent callers.  Thread-safe.
+     * Answer one query.  Deterministic for deadline_ms in {-1, 0}:
+     * the result equals solveDirect(stencil, objective, bounds,
+     * budget) regardless of cache state or concurrent callers (a
+     * positive wall-clock deadline makes the degradation point
+     * inherently timing-dependent, so only the safety contract --
+     * certified UOV no worse than ov_o -- holds there).  Thread-safe.
+     *
+     * @param deadline_ms wall-clock budget for this request;
+     *        -1 = unbounded, 0 = degrade immediately to ov_o.
      *
      * @throws UovUserError on invalid input (e.g. missing bounds for
      *         the storage objective); never corrupts service state.
@@ -66,7 +72,8 @@ class QueryService
     ServiceAnswer query(const Stencil &stencil,
                         SearchObjective objective,
                         const std::optional<IVec> &isg_lo,
-                        const std::optional<IVec> &isg_hi);
+                        const std::optional<IVec> &isg_hi,
+                        int64_t deadline_ms = -1);
 
     /** Number of branch-and-bound searches actually executed. */
     uint64_t searchesExecuted() const;
@@ -99,6 +106,7 @@ class QueryService
     Counter &_searches;
     Counter &_coalesced;
     Counter &_canon_removed;
+    Counter &_timeouts;
     Histogram &_latency_us;
 };
 

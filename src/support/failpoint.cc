@@ -1,0 +1,215 @@
+#include "support/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace uov {
+namespace failpoint {
+
+namespace {
+
+/** Safety clamp: an injected delay never exceeds this. */
+constexpr int64_t kMaxDelayMs = 100;
+
+} // namespace
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Registry::Registry()
+{
+    const char *env = std::getenv("UOV_FAILPOINTS");
+    if (env == nullptr || *env == '\0')
+        return;
+    std::string error;
+    if (!armFromSpec(env, &error))
+        UOV_LOG_WARN("ignoring malformed UOV_FAILPOINTS entry: "
+                     << error);
+}
+
+void
+Registry::arm(const std::string &site, Config config)
+{
+    UOV_REQUIRE(!site.empty(), "fail-point site name is empty");
+    UOV_REQUIRE(config.probability >= 0.0 && config.probability <= 1.0,
+                "fail-point probability " << config.probability
+                                          << " outside [0, 1]");
+    std::lock_guard<std::mutex> lock(_mutex);
+    Point &point = _points[site];
+    if (!point.armed)
+        _armed_count.fetch_add(1, std::memory_order_relaxed);
+    point.armed = true;
+    point.config = config;
+    point.rng_state = config.seed;
+}
+
+void
+Registry::disarm(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _points.find(site);
+    if (it == _points.end() || !it->second.armed)
+        return;
+    it->second.armed = false;
+    _armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+Registry::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (auto &entry : _points) {
+        if (entry.second.armed)
+            _armed_count.fetch_sub(1, std::memory_order_relaxed);
+        entry.second.armed = false;
+    }
+    _points.clear();
+    _total_fires.store(0, std::memory_order_relaxed);
+}
+
+bool
+Registry::armFromSpec(const std::string &spec, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty())
+            continue;
+
+        // Split on ':' into site, prob, [seed], [action].
+        std::vector<std::string> parts;
+        size_t p = 0;
+        while (p <= entry.size()) {
+            size_t colon = entry.find(':', p);
+            if (colon == std::string::npos)
+                colon = entry.size();
+            parts.push_back(entry.substr(p, colon - p));
+            p = colon + 1;
+        }
+        if (parts.size() < 2 || parts.size() > 4)
+            return fail("'" + entry +
+                        "' is not site:prob[:seed[:action]]");
+        if (parts[0].empty())
+            return fail("'" + entry + "' has an empty site name");
+
+        Config config;
+        try {
+            size_t used = 0;
+            config.probability = std::stod(parts[1], &used);
+            if (used != parts[1].size())
+                throw std::invalid_argument(parts[1]);
+            if (parts.size() >= 3) {
+                config.seed = std::stoull(parts[2], &used);
+                if (used != parts[2].size())
+                    throw std::invalid_argument(parts[2]);
+            }
+        } catch (const std::logic_error &) {
+            return fail("'" + entry + "' has a non-numeric field");
+        }
+        if (config.probability < 0.0 || config.probability > 1.0)
+            return fail("'" + entry + "' probability outside [0, 1]");
+
+        if (parts.size() == 4) {
+            const std::string &act = parts[3];
+            if (act == "throw") {
+                config.action = Action::Throw;
+            } else if (act.rfind("delay", 0) == 0) {
+                config.action = Action::Delay;
+                std::string ms = act.substr(5);
+                if (!ms.empty()) {
+                    try {
+                        size_t used = 0;
+                        config.delay_ms = std::stoll(ms, &used);
+                        if (used != ms.size() || config.delay_ms < 0)
+                            throw std::invalid_argument(ms);
+                    } catch (const std::logic_error &) {
+                        return fail("'" + entry +
+                                    "' has a bad delay count");
+                    }
+                }
+            } else {
+                return fail("'" + entry + "' action must be throw or "
+                                          "delayN");
+            }
+        }
+        arm(parts[0], config);
+    }
+    return true;
+}
+
+void
+Registry::hit(const std::string &site)
+{
+    if (_armed_count.load(std::memory_order_relaxed) == 0)
+        return;
+
+    Action action;
+    int64_t delay_ms = 0;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _points.find(site);
+        if (it == _points.end() || !it->second.armed)
+            return;
+        Point &point = it->second;
+        SplitMix64 rng(point.rng_state);
+        double draw = rng.nextDouble();
+        // Persist the advanced stream so successive hits walk one
+        // deterministic sequence per site.
+        point.rng_state += 0x9e3779b97f4a7c15ULL;
+        if (draw >= point.config.probability)
+            return;
+        ++point.fire_count;
+        _total_fires.fetch_add(1, std::memory_order_relaxed);
+        action = point.config.action;
+        delay_ms = std::min(point.config.delay_ms, kMaxDelayMs);
+    }
+
+    if (action == Action::Throw)
+        throw FailPointError("fail point '" + site + "' fired");
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+}
+
+uint64_t
+Registry::fires(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _points.find(site);
+    return it == _points.end() ? 0 : it->second.fire_count;
+}
+
+std::vector<std::string>
+Registry::armedSites() const
+{
+    std::vector<std::string> sites;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        for (const auto &entry : _points)
+            if (entry.second.armed)
+                sites.push_back(entry.first);
+    }
+    std::sort(sites.begin(), sites.end());
+    return sites;
+}
+
+} // namespace failpoint
+} // namespace uov

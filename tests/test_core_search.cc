@@ -183,18 +183,81 @@ TEST(Search, BoundShrinkingAblationStaysOptimal)
     }
 }
 
-TEST(Search, VisitCapReturnsLegalFallback)
+TEST(Search, NodeBudgetReturnsLegalFallback)
 {
     SearchOptions opts;
-    opts.max_visits = 1;
+    opts.budget.max_nodes = 1;
     SearchResult r = BranchBoundSearch(stencils::fivePoint(),
                                        SearchObjective::ShortestVector,
                                        opts)
                          .run();
-    EXPECT_TRUE(r.stats.hit_visit_cap);
+    EXPECT_TRUE(r.degraded());
+    EXPECT_EQ(r.degraded_reason, "node-budget");
     // Best-so-far is still a legal UOV (at worst the initial one).
     UovOracle oracle(stencils::fivePoint());
     EXPECT_TRUE(oracle.isUov(r.best_uov));
+}
+
+TEST(Search, ZeroDeadlineDegradesToInitialUov)
+{
+    // A 0 ms deadline is the extreme anytime case: the search must
+    // return the ov_o seed, deterministically, without expanding a
+    // single node.
+    Stencil s = stencils::fivePoint();
+    SearchOptions opts;
+    opts.budget.deadline = Deadline::afterMillis(0);
+    SearchResult r =
+        BranchBoundSearch(s, SearchObjective::ShortestVector, opts)
+            .run();
+    EXPECT_TRUE(r.degraded());
+    EXPECT_EQ(r.degraded_reason, "deadline");
+    EXPECT_EQ(r.stats.visited, 0u);
+    EXPECT_EQ(r.best_uov, s.initialUov());
+    EXPECT_EQ(r.best_objective, r.initial_objective);
+}
+
+TEST(Search, CancelTokenStopsTheSearch)
+{
+    CancelToken cancel = CancelToken::make();
+    cancel.requestCancel();
+    SearchOptions opts;
+    opts.budget.cancel = cancel;
+    SearchResult r = BranchBoundSearch(stencils::fivePoint(),
+                                       SearchObjective::ShortestVector,
+                                       opts)
+                         .run();
+    EXPECT_TRUE(r.degraded());
+    EXPECT_EQ(r.degraded_reason, "cancelled");
+    EXPECT_EQ(r.stats.visited, 0u);
+}
+
+TEST(Search, IncumbentCallbackSeesSeedAndImprovements)
+{
+    struct Observation
+    {
+        int64_t objective;
+        uint64_t nodes;
+    };
+    std::vector<Observation> seen;
+    SearchOptions opts;
+    opts.on_incumbent = [&](const IVec &, int64_t objective,
+                            uint64_t nodes, int64_t) {
+        seen.push_back({objective, nodes});
+    };
+    SearchResult r = BranchBoundSearch(stencils::fivePoint(),
+                                       SearchObjective::ShortestVector,
+                                       opts)
+                         .run();
+    // First observation is the ov_o seed at zero nodes; objectives
+    // strictly improve; the last equals the final answer.
+    ASSERT_GE(seen.size(), 2u);
+    EXPECT_EQ(seen.front().objective, r.initial_objective);
+    EXPECT_EQ(seen.front().nodes, 0u);
+    for (size_t i = 1; i < seen.size(); ++i) {
+        EXPECT_LT(seen[i].objective, seen[i - 1].objective);
+        EXPECT_GE(seen[i].nodes, seen[i - 1].nodes);
+    }
+    EXPECT_EQ(seen.back().objective, r.best_objective);
 }
 
 TEST(Search, StatsAreCoherent)
@@ -206,7 +269,9 @@ TEST(Search, StatsAreCoherent)
     EXPECT_GT(r.stats.enqueued, 0u);
     EXPECT_GE(r.stats.enqueued, r.stats.visited);
     EXPECT_LE(r.stats.visits_to_best, r.stats.visited);
-    EXPECT_FALSE(r.stats.hit_visit_cap);
+    EXPECT_FALSE(r.degraded());
+    EXPECT_EQ(r.status, SearchStatus::Optimal);
+    EXPECT_TRUE(r.degraded_reason.empty());
     EXPECT_FALSE(r.stats.str().empty());
 }
 

@@ -128,7 +128,8 @@ INSTANTIATE_TEST_SUITE_P(AllOracles, OracleSmoke,
                          ::testing::Values(OracleKind::Membership,
                                            OracleKind::Search,
                                            OracleKind::Mapping,
-                                           OracleKind::Streaming),
+                                           OracleKind::Streaming,
+                                           OracleKind::Fault),
                          [](const auto &info) {
                              return std::string(
                                  oracleName(info.param));

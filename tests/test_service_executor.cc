@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "service/executor.h"
+#include "support/failpoint.h"
 
 namespace uov {
 namespace service {
@@ -161,6 +162,150 @@ TEST(Executor, CacheCollapsesSearchesToDistinctCanonicalKeys)
     // Every response for the same canonical key after the first is a
     // hit: hits + misses covers exactly the well-formed requests.
     EXPECT_EQ(st.hits + st.misses, 7u);
+}
+
+TEST(Executor, ParsesPerRequestDeadline)
+{
+    Request r = parseRequestLine(
+        "query shortest deadline_ms 250 deps [1,0] [0,1]", 1);
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_EQ(r.deadline_ms, 250);
+
+    // The default applies when the line carries no deadline...
+    Request d = parseRequestLine("query shortest deps [1,0]", 1, 40);
+    EXPECT_TRUE(d.error.empty()) << d.error;
+    EXPECT_EQ(d.deadline_ms, 40);
+    // ...and an explicit deadline overrides it, including -1.
+    Request o = parseRequestLine(
+        "query shortest deadline_ms -1 deps [1,0]", 1, 40);
+    EXPECT_TRUE(o.error.empty()) << o.error;
+    EXPECT_EQ(o.deadline_ms, -1);
+    // No deadline anywhere means unbounded.
+    Request u = parseRequestLine("query shortest deps [1,0]", 1);
+    EXPECT_EQ(u.deadline_ms, -1);
+
+    // Storage queries take the deadline before 'bounds'.
+    Request s = parseRequestLine(
+        "query storage deadline_ms 0 bounds 0..3 0..3 "
+        "deps [1,0] [0,1]", 2);
+    EXPECT_TRUE(s.error.empty()) << s.error;
+    EXPECT_EQ(s.deadline_ms, 0);
+}
+
+TEST(Executor, RejectsBadDeadlines)
+{
+    struct Case
+    {
+        const char *line;
+        const char *substring;
+    };
+    const Case cases[] = {
+        {"query shortest deadline_ms deps [1,0]", "bad deadline"},
+        {"query shortest deadline_ms", "needs a millisecond count"},
+        {"query shortest deadline_ms -2 deps [1,0]", "bad deadline"},
+        {"query shortest deadline_ms 10x deps [1,0]", "bad deadline"},
+    };
+    for (const Case &c : cases) {
+        Request r = parseRequestLine(c.line, 1);
+        EXPECT_NE(r.error.find(c.substring), std::string::npos)
+            << "line '" << c.line << "' produced error '" << r.error
+            << "'";
+    }
+}
+
+std::vector<Request>
+deadlineBatch()
+{
+    // Mixed good, bad, zero-deadline, and explicit-deadline lines:
+    // the determinism contract covers deadline_ms in {-1, 0}, so this
+    // batch must stay byte-identical between service and direct.
+    std::istringstream in(
+        "query shortest deps [1,0] [0,1] [1,1]\n"
+        "query shortest deadline_ms 0 deps [1,0] [0,1] [1,1]\n"
+        "query storage deadline_ms 0 bounds 0..7 0..7 "
+        "deps [1,-1] [1,0] [1,1]\n"
+        "query shortest deadline_ms -2 deps [1,0]\n" // parse error
+        "malformed\n"
+        "query shortest deadline_ms -1 deps [1,0] [3,0]\n"
+        "query shortest deadline_ms 0 deps [1,0] [0,1] [1,1]\n");
+    return parseRequests(in);
+}
+
+TEST(Executor, ZeroDeadlineBatchStaysByteIdentical)
+{
+    std::vector<Request> reqs = deadlineBatch();
+    std::vector<std::string> direct = runBatchDirect(reqs, kVisitCap);
+    ASSERT_EQ(direct.size(), reqs.size());
+    // Zero-deadline answers degrade deterministically to ov_o.
+    EXPECT_NE(direct[1].find(" degraded=deadline"), std::string::npos)
+        << direct[1];
+    EXPECT_EQ(direct[1].rfind("answer 2 ", 0), 0u) << direct[1];
+    EXPECT_EQ(direct[3].rfind("error 4 ", 0), 0u) << direct[3];
+    // An unbounded duplicate of a zero-deadline query stays optimal.
+    EXPECT_EQ(direct[0].find(" degraded="), std::string::npos)
+        << direct[0];
+
+    for (unsigned threads : {1u, 4u}) {
+        ServiceOptions opt;
+        opt.max_visits = kVisitCap;
+        MetricsRegistry metrics;
+        QueryService svc(opt, metrics);
+        ThreadPool pool(threads);
+        std::vector<std::string> got = runBatch(svc, reqs, pool);
+        EXPECT_EQ(got, direct) << "threads=" << threads;
+        // Classification counters partition the batch.
+        uint64_t optimal = metrics.counter("service.optimal").value();
+        uint64_t degraded =
+            metrics.counter("service.degraded").value();
+        uint64_t errors =
+            metrics.counter("service.request_errors").value();
+        EXPECT_EQ(optimal + degraded + errors, reqs.size());
+        EXPECT_EQ(errors, 2u);
+        EXPECT_EQ(degraded, 3u);
+    }
+}
+
+TEST(Executor, FailPointErrorsAreIsolatedPerRequest)
+{
+    std::vector<Request> reqs = mixedBatch();
+    failpoint::ScopedFailPoints scope("task_start:1");
+    ServiceOptions opt;
+    opt.max_visits = kVisitCap;
+    MetricsRegistry metrics;
+    QueryService svc(opt, metrics);
+    ThreadPool pool(2);
+    std::vector<std::string> got = runBatch(svc, reqs, pool);
+    ASSERT_EQ(got.size(), reqs.size());
+    // Every request fails, none is dropped, and the batch finishes.
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].rfind("error " + std::to_string(i + 1) + " ",
+                               0),
+                  0u)
+            << got[i];
+    }
+    EXPECT_EQ(metrics.counter("service.request_errors").value(),
+              reqs.size());
+    EXPECT_EQ(metrics.counter("service.optimal").value(), 0u);
+    EXPECT_GE(metrics.counter("service.failpoint_fires").value(),
+              reqs.size());
+}
+
+TEST(Executor, WatchdogFlagsOverdueRequestsOnce)
+{
+    MetricsRegistry metrics;
+    Counter &overdue = metrics.counter("service.watchdog.overdue");
+    Watchdog dog(0, &overdue); // poll_ms 0: manual flagOverdue()
+    dog.start(0, 0);  // 0 ms deadline: instantly 2x overdue
+    dog.start(1, -1); // unbounded: never flagged
+    dog.start(2, 60'000); // far future: not flagged
+    EXPECT_EQ(dog.flagOverdue(), 1u);
+    // Already-flagged entries are not re-flagged.
+    EXPECT_EQ(dog.flagOverdue(), 0u);
+    EXPECT_EQ(overdue.value(), 1u);
+    dog.finish(0);
+    dog.finish(1);
+    dog.finish(2);
+    EXPECT_EQ(dog.flagOverdue(), 0u);
 }
 
 } // namespace

@@ -121,6 +121,79 @@ TEST(Metrics, JsonRendering)
         << json;
 }
 
+TEST(Metrics, JsonEscapesMetricNames)
+{
+    MetricsRegistry r;
+    r.counter("quote\"back\\slash").inc(1);
+    r.gauge("tab\there").set(2);
+    r.histogram(std::string("ctl\x01") + "byte").observe(3);
+
+    std::string json = r.json();
+    EXPECT_NE(json.find("\"quote\\\"back\\\\slash\":1"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"tab\\there\":2"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"ctl\\u0001byte\""), std::string::npos)
+        << json;
+    // No raw control bytes or unescaped quotes survive inside names.
+    EXPECT_EQ(json.find('\x01'), std::string::npos);
+    EXPECT_EQ(json.find('\t'), std::string::npos);
+}
+
+TEST(Metrics, HistogramOverflowBucketSaturates)
+{
+    Histogram h;
+    h.observe(~uint64_t{0});       // bit width 64 -> clamped
+    h.observe(uint64_t{1} << 60);  // bit width 61 -> clamped
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.bucketCount(Histogram::kBuckets - 1), 2u);
+    // Everything below the overflow bucket stays empty.
+    for (size_t b = 0; b + 1 < Histogram::kBuckets; ++b)
+        EXPECT_EQ(h.bucketCount(b), 0u) << "bucket " << b;
+    EXPECT_EQ(h.quantileUpperBound(0.5),
+              (uint64_t{1} << (Histogram::kBuckets - 1)) - 1);
+}
+
+TEST(Metrics, SnapshotUnderConcurrentIncrement)
+{
+    // Render table() and json() while writers hammer the registry;
+    // TSan (the `service` CI label) validates the synchronization,
+    // this test validates nothing crashes and totals land intact.
+    MetricsRegistry r;
+    constexpr int kWriters = 4;
+    constexpr int kPerThread = 5000;
+    std::atomic<bool> done{false};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kWriters; ++t) {
+        workers.emplace_back([&r] {
+            for (int i = 0; i < kPerThread; ++i) {
+                r.counter("snap.c").inc();
+                r.gauge("snap.g").add(1);
+                r.histogram("snap.h").observe(
+                    static_cast<uint64_t>(i));
+            }
+        });
+    }
+    std::thread reader([&] {
+        while (!done.load()) {
+            std::string json = r.json();
+            EXPECT_NE(json.find("\"counters\""), std::string::npos);
+            std::ostringstream oss;
+            r.table().print(oss);
+        }
+    });
+    for (auto &w : workers)
+        w.join();
+    done.store(true);
+    reader.join();
+    EXPECT_EQ(r.counter("snap.c").value(),
+              static_cast<uint64_t>(kWriters) * kPerThread);
+    EXPECT_EQ(r.gauge("snap.g").value(), kWriters * kPerThread);
+    EXPECT_EQ(r.histogram("snap.h").count(),
+              static_cast<uint64_t>(kWriters) * kPerThread);
+}
+
 TEST(Metrics, ConcurrentUpdatesLoseNothing)
 {
     MetricsRegistry r;
