@@ -21,6 +21,7 @@
 #include "sim/streaming.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 
 namespace uov {
 namespace bench {
@@ -120,9 +121,13 @@ runFusedGroup(const std::vector<MachineConfig> &machines,
     MultiMachineSim sim(cfgs);
     StreamingSim mem = sim.policy();
     VirtualArena arena;
+    trace::Span span("sim.fused_pass");
+    span.arg("machines", static_cast<int64_t>(cfgs.size()));
     auto start = std::chrono::steady_clock::now();
     kernel(mem, arena);
     auto stop = std::chrono::steady_clock::now();
+    sim.traceCycleCounters();
+    span.arg("events", static_cast<int64_t>(sim.eventsProcessed()));
 
     FusedRun r;
     r.machines = std::move(group);

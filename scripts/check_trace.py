@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by uov's tracer.
+
+Checks, per thread (pid, tid):
+
+  * every event carries the required fields (name, ph, pid, tid, and
+    a numeric ts for non-metadata phases);
+  * B/E pairs are balanced and properly nested (an E always matches
+    the innermost open B of the same name);
+  * timestamps are monotonically non-decreasing in file order.
+
+Usage:
+    check_trace.py TRACE.json [TRACE2.json ...]
+    some-producer | check_trace.py -
+
+Exit status 0 when every input passes, 1 otherwise.  Prints one
+summary line per input so CI logs show what was validated.
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {"B", "E", "C", "i", "I", "M", "X"}
+
+
+def check_events(events, label):
+    errors = []
+    open_spans = {}  # (pid, tid) -> stack of begin names
+    last_ts = {}     # (pid, tid) -> last timestamp seen
+    counted = 0
+
+    for n, e in enumerate(events):
+        where = f"{label}: event {n}"
+        if not isinstance(e, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in e:
+                errors.append(f"{where}: missing '{field}'")
+        ph = e.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue  # metadata carries no timestamp
+        counted += 1
+
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: missing numeric 'ts'")
+            continue
+        key = (e.get("pid"), e.get("tid"))
+        if key in last_ts and ts < last_ts[key]:
+            errors.append(
+                f"{where}: ts {ts} < previous {last_ts[key]} "
+                f"on tid {key[1]}"
+            )
+        last_ts[key] = ts
+
+        if ph == "B":
+            open_spans.setdefault(key, []).append(e["name"])
+        elif ph == "E":
+            stack = open_spans.get(key, [])
+            if not stack:
+                errors.append(
+                    f"{where}: E '{e.get('name')}' with no open span "
+                    f"on tid {key[1]}"
+                )
+            else:
+                top = stack.pop()
+                # uov's exporter emits E events named like their B;
+                # a name mismatch means interleaved (non-nested) spans.
+                if e.get("name") not in (None, top):
+                    errors.append(
+                        f"{where}: E '{e.get('name')}' closes "
+                        f"B '{top}' on tid {key[1]}"
+                    )
+
+    for (pid, tid), stack in open_spans.items():
+        if stack:
+            errors.append(
+                f"{label}: {len(stack)} unclosed span(s) on "
+                f"tid {tid}: {', '.join(stack)}"
+            )
+    return counted, errors
+
+
+def check_file(path):
+    label = "<stdin>" if path == "-" else path
+    try:
+        if path == "-":
+            doc = json.load(sys.stdin)
+        else:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{label}: unreadable: {e}"]
+
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+    elif isinstance(doc, list):
+        events = doc  # bare-array variant chrome://tracing also loads
+    else:
+        events = None
+    if not isinstance(events, list):
+        return [f"{label}: no traceEvents array"]
+
+    counted, errors = check_events(events, label)
+    if not errors:
+        threads = len({(e.get("pid"), e.get("tid"))
+                       for e in events
+                       if isinstance(e, dict) and e.get("ph") != "M"})
+        print(f"{label}: OK ({counted} events, {threads} thread(s))")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("--help", "-h"):
+        print(__doc__.strip())
+        return 0 if len(argv) >= 2 else 1
+    failures = []
+    for path in argv[1:]:
+        failures.extend(check_file(path))
+    for msg in failures:
+        print(f"check_trace: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,11 +12,14 @@ column on log-x axes, and writes one subplot per machine -- the same
 layout as the paper's Figures 9-14.
 
 Unknown columns are tolerated generically rather than by name:
-rate/diagnostic columns (header ending in "/s") and columns with any
-non-numeric cell are skipped with a note, so benches may append new
-diagnostics without breaking the plots.
+per-unit diagnostic columns (any header containing "/", e.g.
+"MEvents/s" or "ns/span") and columns with any non-numeric cell are
+skipped with a note, so benches may append new diagnostics without
+breaking the plots.
 
 Requires matplotlib; degrades to a textual summary without it.
+--self-test exercises the parsing/skipping logic on synthetic data
+and needs neither matplotlib nor an input file (CI runs it).
 """
 
 import argparse
@@ -28,8 +31,8 @@ SIZE_HEADERS = {"Length", "Problem Size", "N=M"}
 
 def skip_reason(header, values):
     """Why a column can't be plotted, or None if it can."""
-    if header.endswith("/s"):
-        return "rate diagnostic"
+    if "/" in header:
+        return "per-unit diagnostic"
     if any(v is None for v in values):
         return "non-numeric cells"
     return None
@@ -58,12 +61,57 @@ def to_number(cell):
         return None
 
 
+def self_test():
+    """Assert the column-skipping contract on synthetic tables."""
+    import tempfile
+
+    csv_text = (
+        "Length,Tiled,MEvents/s,ns/span,Ragged\n"
+        "64,10,99.5,1.25,1\n"
+        "128,12,98.0,1.30\n"
+    )
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".csv", delete=False
+    ) as f:
+        f.write(csv_text)
+        path = f.name
+    tables = parse_tables(path)
+    assert len(tables) == 1, tables
+    header = tables[0]["header"]
+    rows = tables[0]["rows"]
+    assert header[0] == "Length" and len(rows) == 2
+
+    def col(name):
+        i = header.index(name)
+        return [to_number(r[i]) if i < len(r) else None for r in rows]
+
+    # Plain numeric columns plot; any "/" header is skipped whatever
+    # its values; a ragged column skips for its missing cell.
+    assert skip_reason("Tiled", col("Tiled")) is None
+    assert skip_reason("MEvents/s", col("MEvents/s")) \
+        == "per-unit diagnostic"
+    assert skip_reason("ns/span", col("ns/span")) \
+        == "per-unit diagnostic"
+    assert skip_reason("Ragged", col("Ragged")) == "non-numeric cells"
+    assert to_number("1,234") == 1234.0
+    assert to_number("n/a") is None
+    print("plot_benches self-test: OK")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("csv_file")
+    ap.add_argument("csv_file", nargs="?")
     ap.add_argument("-o", "--output", default="bench.png")
     ap.add_argument("--title", default="")
+    ap.add_argument("--self-test", action="store_true",
+                    help="validate parsing/skipping logic and exit")
     args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+    if not args.csv_file:
+        ap.error("csv_file is required unless --self-test is given")
 
     tables = parse_tables(args.csv_file)
     if not tables:

@@ -12,6 +12,7 @@
 #include "support/checked.h"
 #include "support/error.h"
 #include "support/logging.h"
+#include "support/trace.h"
 
 namespace uov {
 
@@ -68,13 +69,41 @@ BranchBoundSearch::run()
             .count();
     };
 
+    // Capture the tracing flag once: a flip mid-run must not leave
+    // half-open interval spans, and the disabled path must stay one
+    // relaxed load per run, not per node.
+    const bool traced = trace::tracingEnabled();
+    if (traced)
+        trace::begin("search.run");
+
     SearchResult result;
+
+    // "search.interval" spans tile the run between incumbent
+    // improvements, so the trace shows how long each bound survived.
+    auto trace_incumbent = [&](int64_t obj, bool first) {
+        if (!traced)
+            return;
+        trace::Tracer &tracer = trace::Tracer::instance();
+        if (!first)
+            tracer.endEvent("search.interval");
+        trace::Arg args[2];
+        args[0].key = "objective";
+        args[0].type = trace::Arg::Type::Int;
+        args[0].i = obj;
+        args[1].key = "visited";
+        args[1].type = trace::Arg::Type::Int;
+        args[1].i = static_cast<int64_t>(result.stats.visited);
+        tracer.instantEvent("search.incumbent", args, 2);
+        tracer.beginEvent("search.interval");
+    };
+
     result.best_uov = _stencil.initialUov();
     result.initial_objective = objectiveOf(result.best_uov);
     result.best_objective = result.initial_objective;
     if (_options.on_incumbent)
         _options.on_incumbent(result.best_uov, result.best_objective,
                               0, elapsed_us());
+    trace_incumbent(result.best_objective, /*first=*/true);
 
     // Budget poll: nodes and cancellation every expansion, the clock
     // every 256th (and before the first, so a 0 ms deadline returns
@@ -182,6 +211,14 @@ BranchBoundSearch::run()
             break;
         ++result.stats.visited;
         ps.expanded = mask;
+        if (traced && (result.stats.visited & 255) == 0) {
+            TRACE_COUNTER("search.nodes", "visited",
+                          result.stats.visited);
+            TRACE_COUNTER("search.pruned", "pruned",
+                          result.stats.pruned);
+            TRACE_COUNTER("search.enqueued", "enqueued",
+                          result.stats.enqueued);
+        }
 
         // Candidate check (paper Visit step 3).
         if (mask == full_mask) {
@@ -198,6 +235,7 @@ BranchBoundSearch::run()
                     _options.on_incumbent(result.best_uov, obj,
                                           result.stats.visited,
                                           elapsed_us());
+                trace_incumbent(obj, /*first=*/false);
                 UOV_LOG_DEBUG("search bound -> " << obj << " at "
                                                  << e.w.str());
             }
@@ -222,6 +260,19 @@ BranchBoundSearch::run()
     }
 
     result.stats.elapsed_us = elapsed_us();
+
+    if (traced) {
+        trace::Tracer &tracer = trace::Tracer::instance();
+        tracer.endEvent("search.interval");
+        trace::Arg args[2];
+        args[0].key = "visited";
+        args[0].type = trace::Arg::Type::Int;
+        args[0].i = static_cast<int64_t>(result.stats.visited);
+        args[1].key = "pruned";
+        args[1].type = trace::Arg::Type::Int;
+        args[1].i = static_cast<int64_t>(result.stats.pruned);
+        tracer.endEvent("search.run", args, 2);
+    }
 
     // Contract: no vector leaves the search API unverified, whatever
     // path (seed, candidate, degraded best-so-far) produced it.

@@ -35,6 +35,7 @@
 #include "driver/nest_parser.h"
 #include "service/executor.h"
 #include "support/error.h"
+#include "support/trace.h"
 #include "support/version.h"
 
 using namespace uov;
@@ -63,6 +64,10 @@ usage(std::ostream &os)
         "                    -1 = unbounded, 0 = degrade immediately)\n"
         "  --metrics         dump the metrics table to stderr at exit\n"
         "  --metrics-json F  dump metrics as JSON to F ('-' = stderr)\n"
+        "  --trace FILE      record a span trace of the batch and\n"
+        "                    write Chrome trace-event JSON to FILE\n"
+        "                    (open in Perfetto; summary on stderr;\n"
+        "                    UOV_TRACE=FILE is the env equivalent)\n"
         "  --version         print the build version and exit\n";
 }
 
@@ -93,7 +98,7 @@ requestsFromNest(const LoopNest &nest, size_t &next_index,
 int
 main(int argc, char **argv)
 {
-    std::string input_path, output_path, metrics_json_path;
+    std::string input_path, output_path, metrics_json_path, trace_path;
     std::vector<std::string> nest_paths;
     unsigned threads = 0;
     bool dump_metrics = false;
@@ -144,6 +149,8 @@ main(int argc, char **argv)
                 dump_metrics = true;
             } else if (a == "--metrics-json") {
                 metrics_json_path = next_arg(i, "--metrics-json");
+            } else if (a == "--trace") {
+                trace_path = next_arg(i, "--trace");
             } else {
                 std::cerr << "uovd: unknown option '" << a << "'\n";
                 usage(std::cerr);
@@ -153,6 +160,11 @@ main(int argc, char **argv)
             std::cerr << "uovd: bad numeric value for " << a << "\n";
             return 2;
         }
+    }
+
+    if (!trace_path.empty()) {
+        trace::Tracer::setCurrentThreadName("uovd-main");
+        trace::Tracer::instance().enable();
     }
 
     // Gather requests: nests first, then the query stream (skipped
@@ -212,6 +224,20 @@ main(int argc, char **argv)
     } catch (const UovError &e) {
         std::cerr << "uovd: " << e.what() << "\n";
         return 2;
+    }
+
+    if (!trace_path.empty()) {
+        // Disabling before export also tells a UOV_TRACE env session
+        // (support/trace static teardown) that this trace was already
+        // written; workers are idle once runBatch returned.
+        trace::Tracer &tracer = trace::Tracer::instance();
+        tracer.disable();
+        std::string trace_error;
+        if (!tracer.exportToFile(trace_path, &trace_error)) {
+            std::cerr << "uovd: " << trace_error << "\n";
+            return 2;
+        }
+        tracer.summaryTable().print(std::cerr);
     }
 
     std::ofstream out_file;

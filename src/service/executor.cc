@@ -9,6 +9,7 @@
 #include "support/error.h"
 #include "support/failpoint.h"
 #include "support/logging.h"
+#include "support/trace.h"
 
 namespace uov {
 namespace service {
@@ -94,6 +95,7 @@ answerRequest(const Request &request, const SolveFn &solve)
         Stencil stencil(request.deps);
         ServiceAnswer answer = solve(stencil);
         failpoint::fire("answer_render");
+        TRACE_SPAN("service.render");
         oss << "answer " << request.index << " " << answer.str();
     } catch (const UovUserError &e) {
         oss.str("");
@@ -114,6 +116,7 @@ Request
 parseRequestLine(const std::string &line, size_t index,
                  int64_t default_deadline_ms)
 {
+    TRACE_SPAN("service.parse");
     Request r;
     r.index = index;
     r.deadline_ms = default_deadline_ms < 0 ? -1 : default_deadline_ms;
@@ -304,6 +307,8 @@ runBatch(QueryService &service, const std::vector<Request> &requests,
 {
     std::vector<std::string> responses(requests.size());
     Gauge &depth = service.metrics().gauge("service.queue_depth");
+    Histogram &queue_wait =
+        service.metrics().histogram("service.queue_wait_us");
     Watchdog watchdog(
         25, &service.metrics().counter("service.watchdog.overdue"));
     uint64_t fires_before =
@@ -313,9 +318,20 @@ runBatch(QueryService &service, const std::vector<Request> &requests,
     futures.reserve(requests.size());
     for (size_t i = 0; i < requests.size(); ++i) {
         depth.add(1);
+        auto enqueued = Deadline::Clock::now();
         futures.push_back(pool.submit([&service, &requests, &responses,
-                                       &watchdog, &depth, i] {
+                                       &watchdog, &depth, &queue_wait,
+                                       enqueued, i] {
             const Request &request = requests[i];
+            int64_t wait_us =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Deadline::Clock::now() - enqueued)
+                    .count();
+            queue_wait.observe(
+                wait_us < 0 ? 0 : static_cast<uint64_t>(wait_us));
+            TRACE_COUNTER("service.queue_wait", "us", wait_us);
+            trace::Span span("service.request");
+            span.arg("index", static_cast<int64_t>(request.index));
             // Per-request error isolation: whatever this request
             // throws -- an armed fail point, even an internal error
             // -- becomes its own error line; the batch always runs

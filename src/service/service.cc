@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "support/failpoint.h"
+#include "support/trace.h"
 
 namespace uov {
 namespace service {
@@ -29,7 +30,11 @@ QueryService::query(const Stencil &stencil, SearchObjective objective,
     auto start = std::chrono::steady_clock::now();
     _requests.inc();
 
-    Stencil canonical = canonicalizeStencil(stencil);
+    Stencil canonical = [&] {
+        trace::Span span("service.canonicalize");
+        span.arg("deps", static_cast<int64_t>(stencil.size()));
+        return canonicalizeStencil(stencil);
+    }();
     if (canonical.size() < stencil.size())
         _canon_removed.inc(stencil.size() - canonical.size());
     CanonicalKey key =
@@ -45,7 +50,10 @@ QueryService::query(const Stencil &stencil, SearchObjective objective,
 
     bool use_cache = _options.cache_bytes > 0;
     if (use_cache) {
-        if (auto cached = _cache.lookup(key))
+        trace::Span span("service.cache.lookup");
+        auto cached = _cache.lookup(key);
+        span.arg("hit", static_cast<int64_t>(cached ? 1 : 0));
+        if (cached)
             return finish(*cached);
     }
 
@@ -79,8 +87,13 @@ QueryService::query(const Stencil &stencil, SearchObjective objective,
         SearchBudget budget;
         budget.max_nodes = _options.max_visits;
         budget.deadline = Deadline::afterMillis(deadline_ms);
-        answer = solveCanonical(canonical, objective, isg_lo, isg_hi,
-                                budget);
+        {
+            trace::Span span("service.search");
+            answer = solveCanonical(canonical, objective, isg_lo,
+                                    isg_hi, budget);
+            span.arg("degraded",
+                     static_cast<int64_t>(answer.degraded ? 1 : 0));
+        }
         _searches.inc();
         if (answer.degraded && answer.degraded_reason == "deadline")
             _timeouts.inc();

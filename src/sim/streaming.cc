@@ -1,6 +1,7 @@
 #include "sim/streaming.h"
 
 #include "support/error.h"
+#include "support/trace.h"
 
 namespace uov {
 
@@ -47,6 +48,19 @@ MultiMachineSim::eventsProcessed() const
     for (const auto &ms : _systems)
         n += ms->accesses() + ms->branches();
     return n;
+}
+
+void
+MultiMachineSim::traceCycleCounters() const
+{
+    if (!trace::tracingEnabled())
+        return;
+    static const char *const kKeys[] = {"m0", "m1", "m2", "m3",
+                                        "m4", "m5", "m6", "m7"};
+    constexpr size_t kMaxKeys = sizeof kKeys / sizeof kKeys[0];
+    for (size_t i = 0; i < _systems.size() && i < kMaxKeys; ++i)
+        trace::counter("sim.machine.cycles", kKeys[i],
+                       static_cast<int64_t>(_systems[i]->cycles()));
 }
 
 void

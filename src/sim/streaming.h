@@ -91,6 +91,15 @@ class MultiMachineSim
     /** Total events (accesses + branches) absorbed across systems. */
     uint64_t eventsProcessed() const;
 
+    /**
+     * Emit one "sim.machine.cycles" trace counter sample per owned
+     * machine (series keys m0, m1, ...), so a traced sweep shows each
+     * model's cycle total advancing chunk by chunk.  No-op while
+     * tracing is disabled; machines past the eighth are not sampled
+     * (counter keys must be static strings).
+     */
+    void traceCycleCounters() const;
+
     /** Cold-start every system. */
     void reset();
 

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared JSON string escaping.
+ *
+ * One escaping routine serves every JSON emitter in the tree -- the
+ * metrics registry dump, the structured log mode, and the Chrome
+ * trace-event exporter -- so a name that renders safely in one output
+ * renders safely in all of them.  Escapes quotes, backslashes, and
+ * control characters; bytes >= 0x20 (including UTF-8 sequences) pass
+ * through untouched, which is valid JSON.
+ */
+
+#ifndef UOV_SUPPORT_JSON_H
+#define UOV_SUPPORT_JSON_H
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace uov {
+
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream oss;
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            oss << "\\\"";
+            break;
+          case '\\':
+            oss << "\\\\";
+            break;
+          case '\b':
+            oss << "\\b";
+            break;
+          case '\f':
+            oss << "\\f";
+            break;
+          case '\n':
+            oss << "\\n";
+            break;
+          case '\r':
+            oss << "\\r";
+            break;
+          case '\t':
+            oss << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                oss << "\\u" << std::hex << std::setw(4)
+                    << std::setfill('0') << static_cast<int>(c)
+                    << std::dec;
+            } else {
+                oss << c;
+            }
+        }
+    }
+    return oss.str();
+}
+
+} // namespace uov
+
+#endif // UOV_SUPPORT_JSON_H

@@ -1,5 +1,9 @@
 #include "support/logging.h"
 
+#include <chrono>
+
+#include "support/json.h"
+
 namespace uov {
 
 Logger &
@@ -12,8 +16,20 @@ Logger::instance()
 void
 Logger::write(LogLevel lvl, const std::string &msg)
 {
-    if (_sink)
+    if (!_sink)
+        return;
+    if (!_json) {
         *_sink << "[uov:" << logLevelName(lvl) << "] " << msg << "\n";
+        return;
+    }
+    // Millisecond offset from the first JSON-mode line: stable across
+    // machines (no wall-clock parsing) and still orders the stream.
+    static const auto t0 = std::chrono::steady_clock::now();
+    auto ts = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    *_sink << "{\"ts\":" << ts << ",\"level\":\"" << logLevelName(lvl)
+           << "\",\"msg\":\"" << jsonEscape(msg) << "\"}\n";
 }
 
 const char *

@@ -32,6 +32,16 @@ class Logger
     /** Redirect output (tests capture messages this way). */
     void sink(std::ostream *os) { _sink = os; }
 
+    /**
+     * Emit structured JSON instead of the "[uov:level] msg" prefix
+     * format: one object per line with "ts" (milliseconds since the
+     * logger first wrote), "level", and "msg" keys, message text
+     * escaped with the same helper the metrics JSON uses.  Log
+     * shippers ingest this without a parse grammar.
+     */
+    void setJsonMode(bool on) { _json = on; }
+    bool jsonMode() const { return _json; }
+
     bool enabled(LogLevel lvl) const
     {
         return static_cast<int>(lvl) <= static_cast<int>(_level);
@@ -45,6 +55,7 @@ class Logger
 
     LogLevel _level = LogLevel::Warn;
     std::ostream *_sink = &std::cerr;
+    bool _json = false;
 };
 
 /** Name of a level for the log prefix. */

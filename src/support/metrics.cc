@@ -1,60 +1,11 @@
-#include "service/metrics.h"
+#include "support/metrics.h"
 
 #include <bit>
-#include <iomanip>
 #include <sstream>
 
+#include "support/json.h"
+
 namespace uov {
-namespace service {
-
-namespace {
-
-/**
- * JSON string escaping for metric names: quotes, backslashes, and
- * control characters (names are caller-chosen, so the dump must not
- * trust them to be JSON-clean).
- */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::ostringstream oss;
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            oss << "\\\"";
-            break;
-          case '\\':
-            oss << "\\\\";
-            break;
-          case '\b':
-            oss << "\\b";
-            break;
-          case '\f':
-            oss << "\\f";
-            break;
-          case '\n':
-            oss << "\\n";
-            break;
-          case '\r':
-            oss << "\\r";
-            break;
-          case '\t':
-            oss << "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                oss << "\\u" << std::hex << std::setw(4)
-                    << std::setfill('0') << static_cast<int>(c)
-                    << std::dec;
-            } else {
-                oss << c;
-            }
-        }
-    }
-    return oss.str();
-}
-
-} // namespace
 
 void
 Histogram::observe(uint64_t v)
@@ -108,6 +59,43 @@ Histogram::quantileUpperBound(double q) const
     return ~uint64_t{0};
 }
 
+uint64_t
+Histogram::percentile(double q) const
+{
+    uint64_t total = count();
+    if (total == 0)
+        return 0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total));
+    if (target == 0)
+        target = 1;
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+        uint64_t in_bucket = bucketCount(b);
+        if (seen + in_bucket < target) {
+            seen += in_bucket;
+            continue;
+        }
+        if (b == 0)
+            return 0;
+        // Bucket b holds values in [2^(b-1), 2^b - 1]; interpolate
+        // the rank's position within the bucket toward the upper
+        // bound (frac = 1 at the last rank in the bucket).
+        uint64_t lower = uint64_t{1} << (b - 1);
+        uint64_t upper = (uint64_t{1} << b) - 1;
+        double frac = static_cast<double>(target - seen) /
+                      static_cast<double>(in_bucket);
+        return lower + static_cast<uint64_t>(
+                           frac * static_cast<double>(upper - lower));
+    }
+    // Unreachable (target <= total and every observation is in some
+    // bucket), but keep the saturating answer for safety.
+    return (uint64_t{1} << (kBuckets - 1)) - 1;
+}
+
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
@@ -151,8 +139,9 @@ MetricsRegistry::table() const
     for (const auto &[name, h] : _histograms) {
         std::ostringstream oss;
         oss << "count=" << h->count() << " sum=" << h->sum()
-            << " p50<=" << h->quantileUpperBound(0.5)
-            << " p99<=" << h->quantileUpperBound(0.99);
+            << " p50=" << h->percentile(0.5)
+            << " p95=" << h->percentile(0.95)
+            << " p99=" << h->percentile(0.99);
         t.addRow().cell(name).cell("histogram").cell(oss.str());
     }
     return t;
@@ -191,5 +180,4 @@ MetricsRegistry::json() const
     return oss.str();
 }
 
-} // namespace service
 } // namespace uov

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * A small process-local metrics registry: monotonic counters, up/down
+ * gauges, and power-of-two latency histograms, all lock-free to update
+ * (relaxed atomics -- metrics order nothing) and registered by name
+ * under one mutex.
+ *
+ * Promoted from src/service so the span tracer (support/trace) and the
+ * query service share one registry type; src/service/metrics.h remains
+ * as a thin alias header for existing includes.
+ *
+ * Dumps are deterministic in *structure*: metrics are kept in a
+ * sorted map, so the table and JSON renderings list them in name
+ * order.  Values are whatever the run produced.
+ */
+
+#ifndef UOV_SUPPORT_METRICS_H
+#define UOV_SUPPORT_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "support/table.h"
+
+namespace uov {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    inc(uint64_t n = 1)
+    {
+        _value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> _value{0};
+};
+
+/** Instantaneous level (queue depth, cached bytes). */
+class Gauge
+{
+  public:
+    void
+    add(int64_t n)
+    {
+        _value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    void
+    sub(int64_t n)
+    {
+        _value.fetch_sub(n, std::memory_order_relaxed);
+    }
+
+    void
+    set(int64_t v)
+    {
+        _value.store(v, std::memory_order_relaxed);
+    }
+
+    int64_t
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> _value{0};
+};
+
+/**
+ * Histogram over non-negative values (microseconds, sizes) with
+ * power-of-two buckets: bucket b counts observations v with
+ * 2^(b-1) < v <= 2^b - roughly, bucket index = bit_width(v).
+ */
+class Histogram
+{
+  public:
+    static constexpr size_t kBuckets = 48;
+
+    void observe(uint64_t v);
+
+    uint64_t count() const;
+    uint64_t sum() const;
+
+    /**
+     * Upper bound of the bucket containing the @p q quantile
+     * (q in [0, 1]); 0 when empty.  Coarse by design -- within a
+     * factor of 2 -- which is plenty for service dashboards.
+     */
+    uint64_t quantileUpperBound(double q) const;
+
+    /**
+     * Estimated @p q percentile (q in [0, 1]; 0 when empty) with
+     * upper-bound interpolation inside the owning bucket: the target
+     * rank's position within bucket b (values in [2^(b-1), 2^b - 1])
+     * interpolates linearly toward the bucket's upper bound, so a
+     * bucket holding a single observation reports that bucket's upper
+     * bound.  Sharper than quantileUpperBound for the dashboard's
+     * p50/p95/p99 while staying exact about which bucket owns the
+     * rank.  Values past the last bucket saturate at its upper bound.
+     */
+    uint64_t percentile(double q) const;
+
+    uint64_t bucketCount(size_t b) const;
+
+  private:
+    std::atomic<uint64_t> _buckets[kBuckets] = {};
+    std::atomic<uint64_t> _count{0};
+    std::atomic<uint64_t> _sum{0};
+};
+
+/**
+ * Named metric registry.  Lookup-or-create is mutex-guarded and
+ * returns a stable reference; updates through the returned reference
+ * are lock-free.  One registry per service instance keeps tests and
+ * embedded uses isolated (no process-global state).
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** All metrics as a support/table dump (name-sorted). */
+    Table table() const;
+
+    /** All metrics as one JSON object (name-sorted, no whitespace). */
+    std::string json() const;
+
+  private:
+    mutable std::mutex _mutex;
+    std::map<std::string, std::unique_ptr<Counter>> _counters;
+    std::map<std::string, std::unique_ptr<Gauge>> _gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> _histograms;
+};
+
+} // namespace uov
+
+#endif // UOV_SUPPORT_METRICS_H

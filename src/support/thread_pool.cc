@@ -1,9 +1,11 @@
 #include "support/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "support/error.h"
+#include "support/trace.h"
 
 namespace uov {
 
@@ -13,7 +15,7 @@ ThreadPool::ThreadPool(unsigned threads)
         threads = std::max(1u, std::thread::hardware_concurrency());
     _workers.reserve(threads);
     for (unsigned t = 0; t < threads; ++t)
-        _workers.emplace_back([this] { workerLoop(); });
+        _workers.emplace_back([this, t] { workerLoop(t); });
 }
 
 ThreadPool::~ThreadPool()
@@ -30,6 +32,21 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::enqueue(std::function<void()> task)
 {
+    // Only when tracing is live does a task pay for the wrapper that
+    // splits queue wait from run time; the disabled path moves the
+    // callable untouched.
+    if (trace::tracingEnabled()) {
+        auto enqueued = std::chrono::steady_clock::now();
+        task = [enqueued, inner = std::move(task)] {
+            auto wait_us =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - enqueued)
+                    .count();
+            TRACE_COUNTER("pool.queue_wait", "us", wait_us);
+            TRACE_SPAN("pool.task");
+            inner();
+        };
+    }
     {
         std::lock_guard<std::mutex> lock(_mutex);
         UOV_CHECK(!_stopping, "submit on a stopping ThreadPool");
@@ -39,8 +56,10 @@ ThreadPool::enqueue(std::function<void()> task)
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned index)
 {
+    trace::Tracer::setCurrentThreadName("pool-worker-" +
+                                        std::to_string(index));
     for (;;) {
         std::function<void()> task;
         {

@@ -75,7 +75,7 @@ class ThreadPool
 
   private:
     void enqueue(std::function<void()> task);
-    void workerLoop();
+    void workerLoop(unsigned index);
 
     std::mutex _mutex;
     std::condition_variable _cv;

@@ -1,0 +1,504 @@
+#include "support/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "support/json.h"
+
+namespace uov {
+namespace trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+/**
+ * One thread's ring of events.  Only the owning thread pushes; any
+ * thread may read [0, count) after an acquire load of count, because
+ * a published slot is never overwritten (drop-newest: once the ring
+ * is full, new events are counted as drops and discarded).
+ */
+struct ThreadBuffer
+{
+    ThreadBuffer(size_t capacity, uint32_t tid_, std::string name)
+        : slots(capacity), tid(tid_), thread_name(std::move(name))
+    {
+    }
+
+    std::vector<Event> slots;
+    std::atomic<size_t> count{0};
+    std::atomic<uint64_t> dropped{0};
+    uint32_t tid;
+    std::string thread_name; ///< read/written under the Impl mutex
+
+    void
+    push(const Event &e)
+    {
+        size_t n = count.load(std::memory_order_relaxed);
+        if (n >= slots.size()) {
+            dropped.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        slots[n] = e;
+        count.store(n + 1, std::memory_order_release);
+    }
+};
+
+/** Per-thread buffer pointer, validated against the tracer's epoch. */
+struct TlsCache
+{
+    ThreadBuffer *buffer = nullptr;
+    uint64_t epoch = 0;
+};
+
+thread_local TlsCache t_cache;
+thread_local std::string t_thread_name;
+
+/** Append one arg as `"key":value` JSON. */
+void
+writeArg(std::ostream &os, const Arg &a)
+{
+    os << "\"" << jsonEscape(a.key) << "\":";
+    switch (a.type) {
+      case Arg::Type::Int:
+        os << a.i;
+        break;
+      case Arg::Type::Dbl:
+        os << a.d;
+        break;
+      case Arg::Type::Str:
+        os << "\"" << jsonEscape(a.s) << "\"";
+        break;
+      case Arg::Type::None:
+        os << "null";
+        break;
+    }
+}
+
+/** Microsecond timestamp with exact nanosecond fraction. */
+void
+writeTs(std::ostream &os, int64_t ts_ns)
+{
+    char frac[8];
+    std::snprintf(frac, sizeof frac, "%03d",
+                  static_cast<int>(ts_ns % 1000));
+    os << ts_ns / 1000 << "." << frac;
+}
+
+void
+writeEvent(std::ostream &os, const Event &e, uint32_t tid, bool &first)
+{
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "{\"name\":\"" << jsonEscape(e.name) << "\",\"ph\":\""
+       << e.phase << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
+    writeTs(os, e.ts_ns);
+    if (e.phase == 'i')
+        os << ",\"s\":\"t\"";
+    if (e.nargs > 0) {
+        os << ",\"args\":{";
+        for (int a = 0; a < e.nargs; ++a) {
+            if (a)
+                os << ",";
+            writeArg(os, e.args[a]);
+        }
+        os << "}";
+    }
+    os << "}";
+}
+
+} // namespace
+
+struct Tracer::Impl
+{
+    mutable std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    /** Bumped by clear() so cached per-thread pointers re-register. */
+    std::atomic<uint64_t> epoch{1};
+    size_t capacity = Tracer::kDefaultCapacity;
+    std::chrono::steady_clock::time_point t0;
+    uint32_t next_tid = 1;
+
+    int64_t
+    nowNs() const
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    }
+
+    /** The calling thread's buffer, creating and registering one on
+     *  first use (or after clear() invalidated the cache). */
+    ThreadBuffer *
+    acquireBuffer()
+    {
+        uint64_t epoch_now = epoch.load(std::memory_order_acquire);
+        if (t_cache.buffer != nullptr && t_cache.epoch == epoch_now)
+            return t_cache.buffer;
+        std::lock_guard<std::mutex> lock(mutex);
+        auto buffer = std::make_shared<ThreadBuffer>(
+            capacity, next_tid++, t_thread_name);
+        buffers.push_back(buffer);
+        t_cache.buffer = buffer.get();
+        t_cache.epoch = epoch.load(std::memory_order_relaxed);
+        return t_cache.buffer;
+    }
+};
+
+Tracer::Tracer() : _impl(new Impl) {}
+
+Tracer::~Tracer()
+{
+    // The Impl is deliberately immortal (still reachable through the
+    // function-local static, so leak checkers stay quiet): worker
+    // threads may outlive static destruction order guarantees, and a
+    // freed buffer under a live recorder is worse than 48 bytes.
+    detail::g_enabled.store(false, std::memory_order_release);
+}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::enable(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(_impl->mutex);
+    if (detail::g_enabled.load(std::memory_order_relaxed))
+        return;
+    if (_impl->buffers.empty()) {
+        _impl->capacity = capacity == 0 ? 1 : capacity;
+        _impl->t0 = std::chrono::steady_clock::now();
+    }
+    detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void
+Tracer::disable()
+{
+    detail::g_enabled.store(false, std::memory_order_release);
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(_impl->mutex);
+    _impl->buffers.clear();
+    _impl->next_tid = 1;
+    _impl->t0 = std::chrono::steady_clock::now();
+    _impl->epoch.fetch_add(1, std::memory_order_release);
+}
+
+uint64_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(_impl->mutex);
+    uint64_t n = 0;
+    for (const auto &b : _impl->buffers)
+        n += b->count.load(std::memory_order_acquire);
+    return n;
+}
+
+uint64_t
+Tracer::droppedCount() const
+{
+    std::lock_guard<std::mutex> lock(_impl->mutex);
+    uint64_t n = 0;
+    for (const auto &b : _impl->buffers)
+        n += b->dropped.load(std::memory_order_relaxed);
+    return n;
+}
+
+void
+Tracer::beginEvent(const char *name)
+{
+    if (!tracingEnabled())
+        return;
+    // Pair with the release store in enable(): everything written
+    // before tracing went live (t0, capacity) is visible here.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    Event e;
+    e.name = name;
+    e.phase = 'B';
+    e.ts_ns = _impl->nowNs();
+    _impl->acquireBuffer()->push(e);
+}
+
+void
+Tracer::endEvent(const char *name, const Arg *args, int nargs)
+{
+    if (!tracingEnabled())
+        return;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    Event e;
+    e.name = name;
+    e.phase = 'E';
+    e.ts_ns = _impl->nowNs();
+    for (int a = 0; a < nargs && a < Event::kMaxArgs; ++a)
+        e.args[e.nargs++] = args[a];
+    _impl->acquireBuffer()->push(e);
+}
+
+void
+Tracer::counterEvent(const char *name, const char *key, int64_t value)
+{
+    if (!tracingEnabled())
+        return;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    Event e;
+    e.name = name;
+    e.phase = 'C';
+    e.ts_ns = _impl->nowNs();
+    e.nargs = 1;
+    e.args[0].key = key;
+    e.args[0].type = Arg::Type::Int;
+    e.args[0].i = value;
+    _impl->acquireBuffer()->push(e);
+}
+
+void
+Tracer::instantEvent(const char *name, const Arg *args, int nargs)
+{
+    if (!tracingEnabled())
+        return;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    Event e;
+    e.name = name;
+    e.phase = 'i';
+    e.ts_ns = _impl->nowNs();
+    for (int a = 0; a < nargs && a < Event::kMaxArgs; ++a)
+        e.args[e.nargs++] = args[a];
+    _impl->acquireBuffer()->push(e);
+}
+
+void
+Tracer::setCurrentThreadName(const std::string &name)
+{
+    t_thread_name = name;
+    Impl *impl = instance()._impl;
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    for (auto &b : impl->buffers)
+        if (b.get() == t_cache.buffer)
+            b->thread_name = name;
+}
+
+void
+Tracer::writeChromeJson(std::ostream &os) const
+{
+    // Snapshot the buffer list (and names) under the mutex; event
+    // slots themselves are safe to read lock-free via the acquire
+    // load of each count.
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    std::vector<std::string> names;
+    uint64_t dropped = 0;
+    {
+        std::lock_guard<std::mutex> lock(_impl->mutex);
+        buffers = _impl->buffers;
+        names.reserve(buffers.size());
+        for (const auto &b : buffers) {
+            names.push_back(b->thread_name);
+            dropped += b->dropped.load(std::memory_order_relaxed);
+        }
+    }
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"tid\":0,\"args\":{\"name\":\"uov\"}}";
+
+    for (size_t bi = 0; bi < buffers.size(); ++bi) {
+        const ThreadBuffer &b = *buffers[bi];
+        if (!names[bi].empty()) {
+            os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\","
+                  "\"pid\":1,\"tid\":"
+               << b.tid << ",\"args\":{\"name\":\""
+               << jsonEscape(names[bi]) << "\"}}";
+        }
+        size_t n = b.count.load(std::memory_order_acquire);
+        // Drop-newest keeps the recorded prefix intact, so B/E pairs
+        // can only be unbalanced by truncation at the tail: track
+        // open spans and close them after the walk.  An E with no
+        // open B (a span that straddled enable()) is skipped.
+        std::vector<const char *> open;
+        int64_t last_ts = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const Event &e = b.slots[i];
+            last_ts = e.ts_ns;
+            if (e.phase == 'E') {
+                if (open.empty())
+                    continue;
+                open.pop_back();
+            } else if (e.phase == 'B') {
+                open.push_back(e.name);
+            }
+            writeEvent(os, e, b.tid, first);
+        }
+        while (!open.empty()) {
+            Event e;
+            e.name = open.back();
+            e.phase = 'E';
+            e.ts_ns = last_ts;
+            open.pop_back();
+            writeEvent(os, e, b.tid, first);
+        }
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+          "\"droppedEvents\":\""
+       << dropped << "\"}}\n";
+}
+
+std::vector<SpanSummary>
+Tracer::summarize() const
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard<std::mutex> lock(_impl->mutex);
+        buffers = _impl->buffers;
+    }
+
+    struct Totals
+    {
+        uint64_t count = 0;
+        int64_t total_ns = 0;
+        int64_t self_ns = 0;
+    };
+    std::map<std::string, Totals> totals;
+
+    struct Open
+    {
+        const char *name;
+        int64_t begin_ns;
+        int64_t child_ns = 0;
+    };
+    for (const auto &bp : buffers) {
+        const ThreadBuffer &b = *bp;
+        size_t n = b.count.load(std::memory_order_acquire);
+        std::vector<Open> stack;
+        int64_t last_ts = 0;
+        auto close = [&](int64_t end_ns) {
+            Open span = stack.back();
+            stack.pop_back();
+            int64_t dur = end_ns - span.begin_ns;
+            Totals &t = totals[span.name];
+            ++t.count;
+            t.total_ns += dur;
+            t.self_ns += dur - span.child_ns;
+            if (!stack.empty())
+                stack.back().child_ns += dur;
+        };
+        for (size_t i = 0; i < n; ++i) {
+            const Event &e = b.slots[i];
+            last_ts = e.ts_ns;
+            if (e.phase == 'B')
+                stack.push_back(Open{e.name, e.ts_ns, 0});
+            else if (e.phase == 'E' && !stack.empty())
+                close(e.ts_ns);
+        }
+        while (!stack.empty())
+            close(last_ts); // truncated spans, as in the JSON export
+    }
+
+    std::vector<SpanSummary> out;
+    out.reserve(totals.size());
+    for (const auto &[name, t] : totals) {
+        SpanSummary s;
+        s.name = name;
+        s.count = t.count;
+        s.total_ns = t.total_ns;
+        s.self_ns = t.self_ns;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+Table
+Tracer::summaryTable() const
+{
+    Table t("Trace summary");
+    t.header({"Span", "Count", "Total us", "Self us"});
+    for (const SpanSummary &s : summarize())
+        t.addRow()
+            .cell(s.name)
+            .cell(static_cast<int64_t>(s.count))
+            .cell(static_cast<double>(s.total_ns) / 1000.0, 1)
+            .cell(static_cast<double>(s.self_ns) / 1000.0, 1);
+    return t;
+}
+
+bool
+Tracer::exportToFile(const std::string &path, std::string *error) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        if (error != nullptr)
+            *error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    writeChromeJson(out);
+    out.flush();
+    if (!out) {
+        if (error != nullptr)
+            *error = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+/**
+ * UOV_TRACE=FILE arms the tracer during static initialization (before
+ * main, so benches, fuzzers, and test binaries need no code) and
+ * exports at static destruction.  An explicit exporter that already
+ * disabled the tracer (uovd --trace) wins; the env session then does
+ * nothing.
+ */
+struct EnvSession
+{
+    std::string path;
+
+    EnvSession()
+    {
+        const char *p = std::getenv("UOV_TRACE");
+        if (p != nullptr && *p != '\0') {
+            path = p;
+            Tracer::instance().enable();
+        }
+    }
+
+    ~EnvSession()
+    {
+        if (path.empty())
+            return;
+        Tracer &tracer = Tracer::instance();
+        if (!tracer.enabled())
+            return;
+        tracer.disable();
+        std::string error;
+        if (!tracer.exportToFile(path, &error))
+            std::fprintf(stderr,
+                         "[uov:warn] UOV_TRACE export failed: %s\n",
+                         error.c_str());
+    }
+};
+
+EnvSession g_env_session;
+
+} // namespace
+
+} // namespace trace
+} // namespace uov

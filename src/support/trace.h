@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Span tracing with thread-local ring buffers and Perfetto export.
+ *
+ * The service's metrics (support/metrics) say *how much* time each
+ * stage consumed in aggregate; this tracer says *where* any single
+ * request's time went.  Production code marks regions with
+ *
+ *     TRACE_SPAN("service.search");            // RAII begin/end
+ *     TRACE_COUNTER("search.nodes", "nodes", visited);
+ *
+ * and when tracing is disabled (the default) every macro costs one
+ * relaxed atomic load -- the same discipline as failpoint.h, so the
+ * instrumentation can stay in the hot paths permanently.  When
+ * enabled, events are appended to a fixed-capacity *thread-local*
+ * ring buffer: no locks, no CAS, no cross-thread cache traffic on the
+ * record path.  A buffer that fills up drops new events (drop-newest)
+ * and counts the drops; published slots are never overwritten, so the
+ * exporter can run concurrently with writers under the release/
+ * acquire publication of each buffer's count.
+ *
+ * Export produces Chrome trace-event JSON ("traceEvents" array of
+ * B/E/C/i/M phases, microsecond timestamps) loadable in Perfetto or
+ * chrome://tracing, plus a flat summary table of total/self wall time
+ * per span name.  `uovd --trace FILE` and the `UOV_TRACE=FILE`
+ * environment fallback (armed at static initialization, exported at
+ * process exit -- covering benches, fuzzers, and test binaries with
+ * no code changes) are the two entry points.
+ *
+ * Event names and argument keys must be string literals (or otherwise
+ * static-duration strings): the hot path stores the pointer only.
+ *
+ * Thread-safety: recording is safe from any thread at any time.
+ * enable()/disable()/clear() are transitions for the controlling
+ * thread (driver main, test body) and must not race each other;
+ * concurrent recorders simply keep or stop appending.  clear() frees
+ * buffers and must only be called while instrumented threads are
+ * quiescent (buffer reuse is epoch-guarded, but a thread mid-append
+ * during clear() would touch freed memory -- the same quiescence rule
+ * exporters already need for complete data).
+ */
+
+#ifndef UOV_SUPPORT_TRACE_H
+#define UOV_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/table.h"
+
+namespace uov {
+namespace trace {
+
+namespace detail {
+/** Fast-path flag; nothing else is touched while tracing is off. */
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/** Whether tracing is currently enabled (one relaxed atomic load). */
+inline bool
+tracingEnabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** One typed key/value annotation on an event. */
+struct Arg
+{
+    enum class Type : uint8_t { None, Int, Dbl, Str };
+
+    const char *key = nullptr; ///< static-duration string
+    Type type = Type::None;
+    union
+    {
+        int64_t i;
+        double d;
+        const char *s; ///< static-duration string
+    };
+};
+
+/** One trace event; fixed-size so ring slots never allocate. */
+struct Event
+{
+    static constexpr int kMaxArgs = 2;
+
+    const char *name = nullptr; ///< static-duration string
+    int64_t ts_ns = 0;          ///< since the tracer's enable() epoch
+    char phase = '?';           ///< Chrome phase: B, E, C, i
+    uint8_t nargs = 0;
+    Arg args[kMaxArgs];
+};
+
+/** Totals for one span name in the flat summary. */
+struct SpanSummary
+{
+    std::string name;
+    uint64_t count = 0;
+    int64_t total_ns = 0; ///< sum of span durations
+    int64_t self_ns = 0;  ///< total minus directly nested child spans
+};
+
+/**
+ * The process-wide tracer.  All recording goes through the free
+ * helpers / macros below; the class manages buffers and export.
+ */
+class Tracer
+{
+  public:
+    /** Default events per thread buffer (~4 MiB per thread). */
+    static constexpr size_t kDefaultCapacity = size_t{1} << 16;
+
+    static Tracer &instance();
+
+    /**
+     * Start recording; per-thread ring buffers hold @p capacity
+     * events each.  Idempotent while enabled (the capacity of
+     * already-allocated buffers is not changed); a fresh enable after
+     * disable() keeps previously recorded events until clear().
+     */
+    void enable(size_t capacity = kDefaultCapacity);
+
+    /** Stop recording; buffers are kept for export. */
+    void disable();
+
+    bool
+    enabled() const
+    {
+        return tracingEnabled();
+    }
+
+    /**
+     * Drop all buffers and zero the drop counters (quiescence
+     * required; see the file comment).  Keeps the enabled state.
+     */
+    void clear();
+
+    /** Events currently recorded across all thread buffers. */
+    uint64_t eventCount() const;
+
+    /** Events dropped because a thread's ring buffer was full. */
+    uint64_t droppedCount() const;
+
+    /**
+     * Write everything recorded so far as Chrome trace-event JSON.
+     * Spans a writer left open (or whose End was dropped) are closed
+     * with synthesized End events at that thread's last timestamp, so
+     * the output always has balanced B/E pairs per tid.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+    /** Flat per-span-name totals, name-sorted. */
+    std::vector<SpanSummary> summarize() const;
+
+    /** summarize() rendered as a support/table dump. */
+    Table summaryTable() const;
+
+    /**
+     * writeChromeJson to @p path.  Returns false (with @p error set)
+     * when the file cannot be written.
+     */
+    bool exportToFile(const std::string &path,
+                      std::string *error = nullptr) const;
+
+    // Recording primitives (used by the Span/macro layer; callable
+    // directly for explicit begin/end pairs).  No-ops when disabled.
+    void beginEvent(const char *name);
+    void endEvent(const char *name, const Arg *args = nullptr,
+                  int nargs = 0);
+    void counterEvent(const char *name, const char *key, int64_t value);
+    void instantEvent(const char *name, const Arg *args = nullptr,
+                      int nargs = 0);
+
+    /**
+     * Name the calling thread in the exported trace ("M" metadata
+     * event).  Cheap; callable whether or not tracing is enabled (the
+     * name is remembered in a thread-local and attached when the
+     * thread's buffer is created).
+     */
+    static void setCurrentThreadName(const std::string &name);
+
+  private:
+    Tracer();
+    ~Tracer();
+
+    struct Impl;
+    Impl *_impl;
+};
+
+/** Convenience wrappers so call sites read as trace::begin("x"). */
+inline void
+begin(const char *name)
+{
+    if (tracingEnabled())
+        Tracer::instance().beginEvent(name);
+}
+
+inline void
+end(const char *name)
+{
+    if (tracingEnabled())
+        Tracer::instance().endEvent(name);
+}
+
+inline void
+counter(const char *name, const char *key, int64_t value)
+{
+    if (tracingEnabled())
+        Tracer::instance().counterEvent(name, key, value);
+}
+
+/**
+ * RAII span: records a Begin event at construction and an End event
+ * (carrying any attached args) at destruction.  When tracing is
+ * disabled at construction the span is fully inert -- including a
+ * destructor that touches nothing.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name)
+    {
+        if (!tracingEnabled())
+            return;
+        _name = name;
+        Tracer::instance().beginEvent(name);
+    }
+
+    ~Span()
+    {
+        if (_name != nullptr)
+            Tracer::instance().endEvent(_name, _args, _nargs);
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Attach a typed key/value to the span's End event. */
+    void
+    arg(const char *key, int64_t value)
+    {
+        if (_name == nullptr || _nargs >= Event::kMaxArgs)
+            return;
+        _args[_nargs].key = key;
+        _args[_nargs].type = Arg::Type::Int;
+        _args[_nargs].i = value;
+        ++_nargs;
+    }
+
+    void
+    arg(const char *key, double value)
+    {
+        if (_name == nullptr || _nargs >= Event::kMaxArgs)
+            return;
+        _args[_nargs].key = key;
+        _args[_nargs].type = Arg::Type::Dbl;
+        _args[_nargs].d = value;
+        ++_nargs;
+    }
+
+    void
+    arg(const char *key, const char *value)
+    {
+        if (_name == nullptr || _nargs >= Event::kMaxArgs)
+            return;
+        _args[_nargs].key = key;
+        _args[_nargs].type = Arg::Type::Str;
+        _args[_nargs].s = value;
+        ++_nargs;
+    }
+
+    /** Whether the span is actually recording. */
+    bool active() const { return _name != nullptr; }
+
+  private:
+    const char *_name = nullptr;
+    Arg _args[Event::kMaxArgs];
+    int _nargs = 0;
+};
+
+} // namespace trace
+} // namespace uov
+
+#define UOV_TRACE_CONCAT2(a, b) a##b
+#define UOV_TRACE_CONCAT(a, b) UOV_TRACE_CONCAT2(a, b)
+
+/** Anonymous RAII span covering the rest of the enclosing scope. */
+#define TRACE_SPAN(name)                                                  \
+    ::uov::trace::Span UOV_TRACE_CONCAT(uov_trace_span_, __LINE__)(name)
+
+/** One sample of a named counter series (Chrome "C" event). */
+#define TRACE_COUNTER(name, key, value)                                   \
+    ::uov::trace::counter(name, key,                                      \
+                          static_cast<int64_t>(value))
+
+#endif // UOV_SUPPORT_TRACE_H

@@ -308,6 +308,62 @@ TEST(Executor, WatchdogFlagsOverdueRequestsOnce)
     EXPECT_EQ(dog.flagOverdue(), 0u);
 }
 
+TEST(Executor, WatchdogCountsEachOverdueRequestExactlyOnce)
+{
+    MetricsRegistry metrics;
+    Counter &overdue = metrics.counter("service.watchdog.overdue");
+    Watchdog dog(0, &overdue); // poll_ms 0: manual flagOverdue()
+    // Three instantly-overdue requests (0 ms deadline is already past
+    // its 2x mark), flagged across repeated polls: the counter ends
+    // at exactly three no matter how often the poll loop runs.
+    dog.start(0, 0);
+    dog.start(1, 0);
+    EXPECT_EQ(dog.flagOverdue(), 2u);
+    dog.start(2, 0);
+    EXPECT_EQ(dog.flagOverdue(), 1u);
+    for (int poll = 0; poll < 5; ++poll)
+        EXPECT_EQ(dog.flagOverdue(), 0u);
+    EXPECT_EQ(overdue.value(), 3u);
+}
+
+TEST(Executor, WatchdogNeverFlagsOnTimeRequests)
+{
+    MetricsRegistry metrics;
+    Counter &overdue = metrics.counter("service.watchdog.overdue");
+    Watchdog dog(0, &overdue);
+    // Far-future deadlines and unbounded requests survive any number
+    // of polls unflagged; finishing them keeps the counter at zero.
+    dog.start(0, 60'000);
+    dog.start(1, -1);
+    for (int poll = 0; poll < 5; ++poll)
+        EXPECT_EQ(dog.flagOverdue(), 0u);
+    dog.finish(0);
+    dog.finish(1);
+    EXPECT_EQ(dog.flagOverdue(), 0u);
+    EXPECT_EQ(overdue.value(), 0u);
+}
+
+TEST(Executor, WatchdogFinishedRequestCannotBecomeOverdue)
+{
+    MetricsRegistry metrics;
+    Counter &overdue = metrics.counter("service.watchdog.overdue");
+    Watchdog dog(0, &overdue);
+    // A request that finishes before any poll is gone: later polls
+    // cannot flag it even though its deadline has long passed.
+    dog.start(0, 0);
+    dog.finish(0);
+    EXPECT_EQ(dog.flagOverdue(), 0u);
+    EXPECT_EQ(overdue.value(), 0u);
+}
+
+TEST(Executor, WatchdogWithoutCounterStillFlags)
+{
+    Watchdog dog(0, nullptr);
+    dog.start(0, 0);
+    EXPECT_EQ(dog.flagOverdue(), 1u);
+    EXPECT_EQ(dog.flagOverdue(), 0u);
+}
+
 } // namespace
 } // namespace service
 } // namespace uov

@@ -80,6 +80,71 @@ TEST(Metrics, HistogramQuantileUpperBounds)
     EXPECT_EQ(h.quantileUpperBound(1.0), (uint64_t{1} << 21) - 1);
 }
 
+TEST(Metrics, PercentileOfEmptyHistogramIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(Metrics, PercentileOfSingleValueReturnsBucketUpperBound)
+{
+    Histogram h;
+    h.observe(100); // bucket 7: [64, 127]
+    // One observation owns every rank; interpolation lands on the
+    // bucket's upper bound at any q.
+    EXPECT_EQ(h.percentile(0.0), 127u);
+    EXPECT_EQ(h.percentile(0.5), 127u);
+    EXPECT_EQ(h.percentile(1.0), 127u);
+    // Zero lives in its own single-value bucket and reports exactly.
+    Histogram z;
+    z.observe(0);
+    EXPECT_EQ(z.percentile(0.5), 0u);
+}
+
+TEST(Metrics, PercentileInterpolatesWithinOwningBucket)
+{
+    Histogram h;
+    for (int i = 0; i < 4; ++i)
+        h.observe(5); // bucket 3: [4, 7]
+    // target rank r of 4 in-bucket observations -> 4 + (r/4) * 3.
+    EXPECT_EQ(h.percentile(0.25), 4u);
+    EXPECT_EQ(h.percentile(0.5), 5u);
+    EXPECT_EQ(h.percentile(1.0), 7u);
+}
+
+TEST(Metrics, PercentileCrossesBucketsAtTheRightRank)
+{
+    Histogram h;
+    for (int i = 0; i < 99; ++i)
+        h.observe(3); // bucket 2: [2, 3]
+    h.observe(1 << 20); // bucket 21
+    EXPECT_LE(h.percentile(0.5), 3u);
+    EXPECT_GE(h.percentile(0.5), 2u);
+    EXPECT_EQ(h.percentile(0.99), 3u);
+    EXPECT_EQ(h.percentile(1.0), (uint64_t{1} << 21) - 1);
+}
+
+TEST(Metrics, PercentileOverflowBucketSaturates)
+{
+    Histogram h;
+    h.observe(~uint64_t{0}); // clamped into the last bucket
+    EXPECT_EQ(h.percentile(0.5),
+              (uint64_t{1} << (Histogram::kBuckets - 1)) - 1);
+}
+
+TEST(Metrics, TablePercentilesUseInterpolation)
+{
+    MetricsRegistry r;
+    r.histogram("lat").observe(100);
+    std::ostringstream oss;
+    r.table().print(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("p50=127"), std::string::npos) << out;
+    EXPECT_NE(out.find("p99=127"), std::string::npos) << out;
+}
+
 TEST(Metrics, TableIsNameSortedWithOneRowPerMetric)
 {
     MetricsRegistry r;

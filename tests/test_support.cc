@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <sstream>
@@ -109,6 +110,56 @@ TEST(Logging, RespectsLevelAndSink)
     EXPECT_EQ(out.find("hidden"), std::string::npos);
     EXPECT_NE(out.find("shown"), std::string::npos);
     EXPECT_NE(out.find("[uov:warn]"), std::string::npos);
+}
+
+TEST(Logging, JsonModeEmitsOneObjectPerLine)
+{
+    std::ostringstream oss;
+    Logger::instance().sink(&oss);
+    Logger::instance().level(LogLevel::Warn);
+    Logger::instance().setJsonMode(true);
+    UOV_LOG_WARN("first");
+    UOV_LOG_ERROR("second");
+    Logger::instance().setJsonMode(false);
+    Logger::instance().sink(&std::cerr);
+
+    std::string out = oss.str();
+    // Two lines, each a {"ts":...,"level":...,"msg":...} object; no
+    // prefix-format leakage.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+    EXPECT_NE(out.find("\"level\":\"warn\",\"msg\":\"first\""),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\"level\":\"error\",\"msg\":\"second\""),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\"ts\":"), std::string::npos);
+    EXPECT_EQ(out.find("[uov:"), std::string::npos);
+}
+
+TEST(Logging, JsonModeEscapesMessageText)
+{
+    std::ostringstream oss;
+    Logger::instance().sink(&oss);
+    Logger::instance().level(LogLevel::Warn);
+    Logger::instance().setJsonMode(true);
+    UOV_LOG_WARN("quote\" back\\slash\nnewline\ttab \x01"
+                 "ctl");
+    UOV_LOG_WARN("non-ascii \xc3\xa9 stays"); // UTF-8 e-acute
+    Logger::instance().setJsonMode(false);
+    Logger::instance().sink(&std::cerr);
+
+    std::string out = oss.str();
+    EXPECT_NE(out.find("quote\\\" back\\\\slash\\nnewline\\ttab "
+                       "\\u0001ctl"),
+              std::string::npos)
+        << out;
+    // Valid UTF-8 above 0x1f passes through byte-for-byte.
+    EXPECT_NE(out.find("non-ascii \xc3\xa9 stays"), std::string::npos)
+        << out;
+    // The embedded newline was escaped: still one line per message.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+    EXPECT_EQ(out.find('\t'), std::string::npos);
 }
 
 TEST(Rng, DeterministicAcrossInstances)

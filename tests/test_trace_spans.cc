@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Unit tests for the span tracer (support/trace): inert disabled
+ * path, ring-buffer recording and drop-newest overflow, balanced
+ * Chrome JSON export (including synthesized End events), flat
+ * summary totals/self-time, multi-thread buffers, and thread names.
+ *
+ * The tracer is process-global, so every test starts and ends from a
+ * disabled, cleared state (the fixture enforces it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "support/trace.h"
+
+namespace uov {
+namespace trace {
+namespace {
+
+size_t
+countOf(const std::string &haystack, const std::string &needle)
+{
+    size_t n = 0;
+    for (size_t pos = haystack.find(needle); pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Tracer::instance().disable();
+        Tracer::instance().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        Tracer::instance().disable();
+        Tracer::instance().clear();
+    }
+
+    std::string
+    exported()
+    {
+        std::ostringstream oss;
+        Tracer::instance().writeChromeJson(oss);
+        return oss.str();
+    }
+};
+
+TEST_F(TraceTest, DisabledPathRecordsNothing)
+{
+    ASSERT_FALSE(tracingEnabled());
+    {
+        TRACE_SPAN("inert");
+        TRACE_COUNTER("inert.counter", "v", 7);
+        trace::begin("raw");
+        trace::end("raw");
+    }
+    EXPECT_EQ(Tracer::instance().eventCount(), 0u);
+    EXPECT_EQ(Tracer::instance().droppedCount(), 0u);
+}
+
+TEST_F(TraceTest, SpanArgsAttachAfterDisableAreInert)
+{
+    // A Span constructed while disabled stays inert even if tracing
+    // turns on before its destructor: byte-identity depends on no
+    // stray E events from half-open spans.
+    Span span("straddler");
+    EXPECT_FALSE(span.active());
+    Tracer::instance().enable();
+    span.arg("k", int64_t{1});
+    EXPECT_EQ(Tracer::instance().eventCount(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansExportBalancedJson)
+{
+    Tracer::instance().enable();
+    {
+        TRACE_SPAN("outer");
+        {
+            TRACE_SPAN("inner");
+            TRACE_COUNTER("work", "items", 3);
+        }
+    }
+    Tracer::instance().disable();
+    EXPECT_EQ(Tracer::instance().eventCount(), 5u); // 2B + 2E + 1C
+
+    std::string json = exported();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"work\""), std::string::npos);
+    EXPECT_NE(json.find("\"items\":3"), std::string::npos);
+    EXPECT_EQ(countOf(json, "\"ph\":\"B\""),
+              countOf(json, "\"ph\":\"E\""));
+}
+
+TEST_F(TraceTest, UnclosedBeginGetsSynthesizedEnd)
+{
+    Tracer::instance().enable();
+    trace::begin("never.closed");
+    trace::begin("also.open");
+    Tracer::instance().disable();
+
+    std::string json = exported();
+    EXPECT_EQ(countOf(json, "\"ph\":\"B\""), 2u);
+    EXPECT_EQ(countOf(json, "\"ph\":\"E\""), 2u);
+    // Synthesized Ends close innermost-first.
+    size_t inner_e = json.rfind("\"name\":\"also.open\"");
+    size_t outer_e = json.rfind("\"name\":\"never.closed\"");
+    EXPECT_LT(inner_e, outer_e);
+}
+
+TEST_F(TraceTest, OrphanEndIsSkippedInExport)
+{
+    Tracer::instance().enable();
+    trace::end("no.begin"); // e.g. a span that straddled enable()
+    trace::begin("real");
+    trace::end("real");
+    Tracer::instance().disable();
+
+    std::string json = exported();
+    EXPECT_EQ(countOf(json, "\"ph\":\"B\""), 1u);
+    EXPECT_EQ(countOf(json, "\"ph\":\"E\""), 1u);
+    EXPECT_EQ(json.find("no.begin"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpanArgsAppearOnEndEvent)
+{
+    Tracer::instance().enable();
+    {
+        Span span("args.span");
+        span.arg("count", int64_t{42});
+        span.arg("label", "hello");
+        span.arg("ignored", int64_t{3}); // beyond kMaxArgs, dropped
+    }
+    Tracer::instance().disable();
+
+    std::string json = exported();
+    EXPECT_NE(json.find("\"count\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"label\":\"hello\""), std::string::npos);
+    EXPECT_EQ(json.find("\"ignored\""), std::string::npos);
+}
+
+TEST_F(TraceTest, DropNewestWhenRingIsFull)
+{
+    Tracer::instance().enable(/*capacity=*/4);
+    for (int i = 0; i < 10; ++i)
+        TRACE_COUNTER("flood", "i", i);
+    Tracer::instance().disable();
+
+    EXPECT_EQ(Tracer::instance().eventCount(), 4u);
+    EXPECT_EQ(Tracer::instance().droppedCount(), 6u);
+    // The oldest events survive (drop-newest, not a wrapping ring).
+    std::string json = exported();
+    EXPECT_NE(json.find("\"i\":0"), std::string::npos);
+    EXPECT_EQ(json.find("\"i\":9"), std::string::npos);
+    EXPECT_NE(json.find("\"droppedEvents\":\"6\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearDropsEventsAndKeepsRecording)
+{
+    Tracer::instance().enable();
+    trace::begin("before");
+    trace::end("before");
+    ASSERT_GT(Tracer::instance().eventCount(), 0u);
+
+    Tracer::instance().clear();
+    EXPECT_EQ(Tracer::instance().eventCount(), 0u);
+    EXPECT_TRUE(Tracer::instance().enabled());
+
+    trace::begin("after");
+    trace::end("after");
+    EXPECT_EQ(Tracer::instance().eventCount(), 2u);
+    std::string json = exported();
+    EXPECT_EQ(json.find("before"), std::string::npos);
+    EXPECT_NE(json.find("after"), std::string::npos);
+}
+
+TEST_F(TraceTest, SummaryComputesTotalAndSelfTime)
+{
+    Tracer::instance().enable();
+    {
+        TRACE_SPAN("parent");
+        {
+            TRACE_SPAN("child");
+        }
+        {
+            TRACE_SPAN("child");
+        }
+    }
+    Tracer::instance().disable();
+
+    auto summary = Tracer::instance().summarize();
+    ASSERT_EQ(summary.size(), 2u); // name-sorted: child, parent
+    EXPECT_EQ(summary[0].name, "child");
+    EXPECT_EQ(summary[0].count, 2u);
+    EXPECT_EQ(summary[1].name, "parent");
+    EXPECT_EQ(summary[1].count, 1u);
+    // Parent's self time excludes both child spans; every duration is
+    // non-negative and children nest inside the parent.
+    EXPECT_GE(summary[0].total_ns, 0);
+    EXPECT_GE(summary[1].total_ns, summary[0].total_ns);
+    EXPECT_EQ(summary[1].self_ns,
+              summary[1].total_ns - summary[0].total_ns);
+}
+
+TEST_F(TraceTest, SummaryTableListsSpans)
+{
+    Tracer::instance().enable();
+    {
+        TRACE_SPAN("tabled.span");
+    }
+    Tracer::instance().disable();
+
+    std::ostringstream oss;
+    Tracer::instance().summaryTable().print(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("tabled.span"), std::string::npos);
+    EXPECT_NE(out.find("Self us"), std::string::npos);
+}
+
+TEST_F(TraceTest, ThreadsGetOwnBuffersAndNames)
+{
+    Tracer::instance().enable();
+    trace::begin("main.work");
+    trace::end("main.work");
+    std::thread worker([] {
+        Tracer::setCurrentThreadName("unit-worker");
+        TRACE_SPAN("worker.work");
+    });
+    worker.join();
+    Tracer::instance().disable();
+
+    EXPECT_EQ(Tracer::instance().eventCount(), 4u);
+    std::string json = exported();
+    EXPECT_NE(json.find("\"name\":\"worker.work\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"unit-worker\""), std::string::npos);
+    // Two distinct data tids (metadata aside, tid 0 is the process
+    // name record): main's buffer and the worker's.
+    EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+}
+
+TEST_F(TraceTest, ExportToFileRejectsBadPath)
+{
+    Tracer::instance().enable();
+    trace::begin("x");
+    trace::end("x");
+    Tracer::instance().disable();
+    std::string error;
+    EXPECT_FALSE(Tracer::instance().exportToFile(
+        "/nonexistent-dir/trace.json", &error));
+    EXPECT_NE(error.find("/nonexistent-dir/trace.json"),
+              std::string::npos);
+}
+
+TEST_F(TraceTest, TimestampsAreMonotonicPerThread)
+{
+    Tracer::instance().enable();
+    for (int i = 0; i < 100; ++i) {
+        trace::begin("tick");
+        trace::end("tick");
+    }
+    Tracer::instance().disable();
+
+    // Parse the ts values back out of the JSON in file order; within
+    // one thread they must never decrease (check_trace.py asserts the
+    // same invariant over the driver's real traces).
+    std::string json = exported();
+    double last = -1.0;
+    size_t pos = 0;
+    size_t seen = 0;
+    while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+        pos += 5;
+        double ts = std::stod(json.substr(pos));
+        EXPECT_GE(ts, last);
+        last = ts;
+        ++seen;
+    }
+    EXPECT_EQ(seen, 200u);
+}
+
+} // namespace
+} // namespace trace
+} // namespace uov
