@@ -8,9 +8,44 @@
 #include "bench_common.h"
 
 #include "core/cone_pruner.h"
+#include "core/reduction.h"
 #include "core/search.h"
+#include "support/rng.h"
 
 using namespace uov;
+
+namespace {
+
+/**
+ * Seeded PARTITION instance sized n, parity-fixed to an even sum --
+ * the same construction (and seed, in main) as bench_search_anytime,
+ * so the two benches exercise identical hard instances.
+ */
+PartitionInstance
+randomInstance(size_t n, SplitMix64 &rng)
+{
+    PartitionInstance inst;
+    for (size_t i = 0; i < n; ++i)
+        inst.values.push_back(
+            1 + static_cast<int64_t>(rng.nextInRange(0, 9)));
+    int64_t total = 0;
+    for (int64_t v : inst.values)
+        total += v;
+    if (total % 2)
+        inst.values.back() += 1;
+    return inst;
+}
+
+int64_t
+nodesPerSecond(uint64_t visited, int64_t elapsed_us)
+{
+    if (elapsed_us <= 0)
+        return 0;
+    return static_cast<int64_t>(visited * 1'000'000 /
+                                static_cast<uint64_t>(elapsed_us));
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -60,5 +95,53 @@ main(int argc, char **argv)
             .cell(pruner.prune(w, radius_sq) ? "yes" : "no");
     }
     bench::emit(p, opt);
+
+    // Search-core throughput on the NP-completeness construction: the
+    // PARTITION-reduction stencils are where expansion cost dominates,
+    // so nodes/s here tracks the flat point-table + arena frontier
+    // data layout directly.  "Problem Size" makes plot_benches.py pick
+    // the table up; the nodes/s columns are per-unit diagnostics it
+    // skips by contract.
+    Table part("PARTITION-reduction search throughput "
+               "(priority queue vs FIFO worklist)");
+    part.header({"Problem Size", "pq visited", "fifo visited",
+                 "pq nodes/s", "fifo nodes/s", "arena KiB",
+                 "optimal value"});
+
+    SplitMix64 rng(19981004);
+    size_t max_n = opt.quick ? 6 : 8;
+    for (size_t n = 3; n <= max_n; ++n) {
+        PartitionInstance inst = randomInstance(n, rng);
+        UovMembershipInstance red = buildReduction(inst);
+        if (n < 6)
+            continue; // keep the RNG stream aligned with the
+                      // anytime bench; only n >= 6 is search-bound
+
+        SearchOptions pq_opt;
+        SearchResult pq_r =
+            BranchBoundSearch(red.stencil,
+                              SearchObjective::ShortestVector, pq_opt)
+                .run();
+
+        SearchOptions fifo_opt;
+        fifo_opt.use_priority_queue = false;
+        SearchResult fifo_r =
+            BranchBoundSearch(red.stencil,
+                              SearchObjective::ShortestVector,
+                              fifo_opt)
+                .run();
+
+        part.addRow()
+            .cell(int64_t(n))
+            .cell(pq_r.stats.visited)
+            .cell(fifo_r.stats.visited)
+            .cell(nodesPerSecond(pq_r.stats.visited,
+                                 pq_r.stats.elapsed_us))
+            .cell(nodesPerSecond(fifo_r.stats.visited,
+                                 fifo_r.stats.elapsed_us))
+            .cell(int64_t(pq_r.stats.arena_bytes / 1024))
+            .cell(pq_r.best_objective);
+    }
+    bench::emit(part, opt);
     return 0;
 }

@@ -71,8 +71,8 @@ main(int argc, char **argv)
 
     Table summary("Time to first feasible vs time to optimal");
     summary.header({"Problem Size", "first feasible us", "optimal us",
-                    "nodes", "initial value", "optimal value",
-                    "deadline0 value"});
+                    "nodes", "nodes/s", "arena KiB", "initial value",
+                    "optimal value", "deadline0 value"});
 
     SplitMix64 rng(19981004);
     size_t max_n = opt.quick ? 5 : 8;
@@ -117,11 +117,19 @@ main(int argc, char **argv)
                 degraded.best_objective == result.initial_objective &&
                 result.best_objective <= result.initial_objective;
 
+        int64_t nodes_per_s =
+            result.stats.elapsed_us > 0
+                ? static_cast<int64_t>(
+                      result.stats.visited * 1'000'000 /
+                      static_cast<uint64_t>(result.stats.elapsed_us))
+                : 0;
         summary.addRow()
             .cell(int64_t(n))
             .cell(obs.empty() ? int64_t(0) : obs.front().elapsed_us)
             .cell(result.stats.elapsed_us)
             .cell(result.stats.visited)
+            .cell(nodes_per_s)
+            .cell(int64_t(result.stats.arena_bytes / 1024))
             .cell(result.initial_objective)
             .cell(result.best_objective)
             .cell(degraded.best_objective);

@@ -66,9 +66,9 @@ def self_test():
     import tempfile
 
     csv_text = (
-        "Length,Tiled,MEvents/s,ns/span,Ragged\n"
-        "64,10,99.5,1.25,1\n"
-        "128,12,98.0,1.30\n"
+        "Length,Tiled,MEvents/s,ns/span,nodes/s,arena KiB,Ragged\n"
+        "64,10,99.5,1.25,552032,1024,1\n"
+        "128,12,98.0,1.30,673719,2048\n"
     )
     with tempfile.NamedTemporaryFile(
         "w", suffix=".csv", delete=False
@@ -92,6 +92,12 @@ def self_test():
         == "per-unit diagnostic"
     assert skip_reason("ns/span", col("ns/span")) \
         == "per-unit diagnostic"
+    # The search benches' throughput column is a per-unit diagnostic
+    # (machine-dependent); the arena footprint column is plain numeric
+    # and plots.
+    assert skip_reason("nodes/s", col("nodes/s")) \
+        == "per-unit diagnostic"
+    assert skip_reason("arena KiB", col("arena KiB")) is None
     assert skip_reason("Ragged", col("Ragged")) == "non-numeric cells"
     assert to_number("1,234") == 1234.0
     assert to_number("n/a") is None

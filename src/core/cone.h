@@ -8,20 +8,69 @@
  * a_ii >= 1" variant the paper proves NP-complete, so the solver is an
  * exact exponential-worst-case memoized search -- fast in practice
  * because real stencils are tiny (the paper's own argument, Section 7).
+ *
+ * Memoization is factored into ConeMemo, a per-stencil table that can
+ * be shared by every component asking cone questions about the same
+ * stencil (UovOracle, DoneDeadAnalysis, the search's verification and
+ * certification passes): one membership subproblem is solved once per
+ * stencil, not once per solver.  The memo and the solver's iterative
+ * DFS stack live on bump arenas (support/arena.h), so the hot loop
+ * performs no per-node heap allocation.  Sharing is single-threaded;
+ * give each worker its own memo.
  */
 
 #ifndef UOV_CORE_CONE_H
 #define UOV_CORE_CONE_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/stencil.h"
 #include "geometry/ivec.h"
+#include "support/arena.h"
+#include "support/flat_map.h"
 
 namespace uov {
+
+/**
+ * Shared per-stencil memoization state: the membership table plus the
+ * derived pruning data (positive functional, single-sign coordinates).
+ * Create one per stencil and hand it to every ConeSolver / UovOracle /
+ * DoneDeadAnalysis working on that stencil.
+ */
+class ConeMemo
+{
+  public:
+    explicit ConeMemo(Stencil stencil);
+
+    const Stencil &stencil() const { return _stencil; }
+
+    /** Number of memoized subproblems. */
+    size_t size() const { return _map.size(); }
+
+    /** Bytes of arena memory handed out for table + stack storage. */
+    size_t
+    arenaBytes() const
+    {
+        return _arena.bytesUsed() + _scratch.bytesUsed();
+    }
+
+  private:
+    friend class ConeSolver;
+
+    /** Tri-state memo cell; Unknown doubles as the fresh-entry value. */
+    enum : uint8_t { kUnknown = 0, kNotInCone = 1, kInCone = 2 };
+
+    Stencil _stencil;
+    std::optional<IVec> _h;              ///< positive functional, if exact
+    std::vector<size_t> _non_neg_coords; ///< coords with all v[c] >= 0
+    std::vector<size_t> _non_pos_coords; ///< coords with all v[c] <= 0
+    Arena _arena;                        ///< memo table storage
+    Arena _scratch;                      ///< DFS stack, scope-reset per query
+    PackedCoordMap<uint8_t> _map;
+};
 
 /** Exact decision procedure for w in cone_{Z>=0}(V), with memoization. */
 class ConeSolver
@@ -34,7 +83,14 @@ class ConeSolver
      */
     explicit ConeSolver(Stencil stencil, uint64_t max_nodes = 50'000'000);
 
-    const Stencil &stencil() const { return _stencil; }
+    /** Share @p memo (and all membership already proved into it). */
+    explicit ConeSolver(std::shared_ptr<ConeMemo> memo,
+                        uint64_t max_nodes = 50'000'000);
+
+    const Stencil &stencil() const { return _memo->stencil(); }
+
+    /** The shared memo; hand it to sibling solvers over the stencil. */
+    const std::shared_ptr<ConeMemo> &memo() const { return _memo; }
 
     /** Is w a non-negative integer combination of the stencil vectors? */
     bool contains(const IVec &w);
@@ -47,24 +103,22 @@ class ConeSolver
     std::optional<std::vector<int64_t>> certificate(const IVec &w);
 
     /** Number of memoized subproblems (for search diagnostics). */
-    uint64_t memoSize() const { return _memo.size(); }
+    uint64_t memoSize() const { return _memo->size(); }
 
-    /** Total recursion nodes expanded so far. */
+    /** Recursion nodes expanded by THIS solver (memo hits are free). */
     uint64_t nodesExpanded() const { return _nodes; }
 
   private:
-    bool search(const IVec &w, uint32_t depth);
+    /** Iterative DFS over the residue lattice; see cone.cc. */
+    bool search(const int64_t *w);
 
     /** Cheap certain-rejection tests; true means "definitely not". */
-    bool prunedOut(const IVec &w) const;
+    bool prunedOut(const int64_t *w) const;
 
-    Stencil _stencil;
-    std::optional<IVec> _h;              ///< positive functional, if exact
-    std::vector<size_t> _non_neg_coords; ///< coords with all v[c] >= 0
-    std::vector<size_t> _non_pos_coords; ///< coords with all v[c] <= 0
+    std::shared_ptr<ConeMemo> _memo;
     uint64_t _max_nodes;
     uint64_t _nodes = 0;
-    std::unordered_map<IVec, bool, IVecHash> _memo;
+    std::vector<int64_t> _child; ///< per-call residue scratch
 };
 
 } // namespace uov

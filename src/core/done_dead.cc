@@ -9,6 +9,11 @@ DoneDeadAnalysis::DoneDeadAnalysis(Stencil stencil)
 {
 }
 
+DoneDeadAnalysis::DoneDeadAnalysis(std::shared_ptr<ConeMemo> memo)
+    : _cone(std::move(memo))
+{
+}
+
 bool
 DoneDeadAnalysis::isDone(const IVec &q, const IVec &p)
 {

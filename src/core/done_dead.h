@@ -16,6 +16,7 @@
 #ifndef UOV_CORE_DONE_DEAD_H
 #define UOV_CORE_DONE_DEAD_H
 
+#include <memory>
 #include <vector>
 
 #include "core/cone.h"
@@ -28,6 +29,9 @@ class DoneDeadAnalysis
 {
   public:
     explicit DoneDeadAnalysis(Stencil stencil);
+
+    /** Share an existing cone memo (same stencil) with the analysis. */
+    explicit DoneDeadAnalysis(std::shared_ptr<ConeMemo> memo);
 
     const Stencil &stencil() const { return _cone.stencil(); }
 

@@ -17,13 +17,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "core/cone.h"
 #include "core/cone_pruner.h"
 #include "core/stencil.h"
 #include "geometry/ivec.h"
 #include "geometry/polyhedron.h"
+#include "support/arena.h"
 #include "support/deadline.h"
 
 namespace uov {
@@ -106,6 +109,7 @@ struct SearchStats
     uint64_t pruned = 0;         ///< expansions skipped by geometry
     uint64_t bound_updates = 0;  ///< times a better UOV shrank the bound
     uint64_t visits_to_best = 0; ///< expansions before the final best
+    uint64_t arena_bytes = 0;    ///< arena memory used by the frontier
     int64_t elapsed_us = 0;      ///< wall-clock time inside run()
 
     std::string str() const;
@@ -147,6 +151,13 @@ class BranchBoundSearch
 
     const Stencil &stencil() const { return _stencil; }
 
+    /**
+     * The cone memo backing this search's verification pass; created
+     * on first use.  Share it with certification / oracle work on the
+     * same stencil so cone subproblems are solved once.
+     */
+    const std::shared_ptr<ConeMemo> &memo();
+
   private:
     int64_t objectiveOf(const IVec &w) const;
 
@@ -154,6 +165,8 @@ class BranchBoundSearch
     SearchObjective _objective;
     SearchOptions _options;
     ConePruner _pruner;
+    std::shared_ptr<ConeMemo> _memo;
+    Arena _arena; ///< frontier + point-state storage, reset per run()
 };
 
 /**

@@ -1,12 +1,16 @@
 #include "core/uov.h"
 
-#include <cmath>
-
+#include "geometry/isqrt.h"
 #include "support/error.h"
 
 namespace uov {
 
 UovOracle::UovOracle(Stencil stencil) : _cone(std::move(stencil))
+{
+}
+
+UovOracle::UovOracle(std::shared_ptr<ConeMemo> memo)
+    : _cone(std::move(memo))
 {
 }
 
@@ -115,9 +119,7 @@ GeneralUovOracle::searchShortest()
                              << _cone.stencil().str());
     int64_t best_sq = initial.normSquared();
     IVec best = initial;
-    auto radius = static_cast<int64_t>(
-                      std::sqrt(static_cast<double>(best_sq))) +
-                  1;
+    int64_t radius = isqrt64(best_sq) + 1;
     size_t d = initial.dim();
     IVec w(d);
     for (size_t c = 0; c < d; ++c)
@@ -188,9 +190,7 @@ findSharedUov(const std::vector<Stencil> &stencils)
         oracles.emplace_back(s);
         radius_sq = std::max(radius_sq, s.initialUov().normSquared());
     }
-    auto radius = static_cast<int64_t>(
-                      std::sqrt(static_cast<double>(radius_sq))) +
-                  1;
+    int64_t radius = isqrt64(radius_sq) + 1;
 
     std::optional<IVec> best;
     int64_t best_sq = INT64_MAX;

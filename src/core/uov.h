@@ -13,6 +13,7 @@
 #ifndef UOV_CORE_UOV_H
 #define UOV_CORE_UOV_H
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -37,6 +38,9 @@ class UovOracle
 {
   public:
     explicit UovOracle(Stencil stencil);
+
+    /** Share an existing cone memo (same stencil) with this oracle. */
+    explicit UovOracle(std::shared_ptr<ConeMemo> memo);
 
     const Stencil &stencil() const { return _cone.stencil(); }
 

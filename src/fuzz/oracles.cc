@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <sstream>
 #include <unordered_set>
 
@@ -184,9 +185,12 @@ OracleVerdict
 checkMembership(const FuzzCase &c)
 {
     Stencil s = c.stencil();
-    UovOracle oracle(s);
-    ConeSolver solver(s);
-    DoneDeadAnalysis dd(s);
+    // All three views share one cone memo: each membership subproblem
+    // over s is solved once for the whole oracle family.
+    auto memo = std::make_shared<ConeMemo>(s);
+    UovOracle oracle(memo);
+    ConeSolver solver(memo);
+    DoneDeadAnalysis dd(memo);
     IVec origin(s.dim());
 
     for (const auto &w : c.candidates) {

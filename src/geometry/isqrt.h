@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Exact integer square root.
+ *
+ * The search-radius computations (exhaustive ball enumeration, the
+ * known-bounds radius) need floor(sqrt(n)) for n up to INT64_MAX.
+ * Deriving it from std::sqrt(double) is wrong near 2^53: the rounded
+ * double can land below (shaving the ball boundary) or above the true
+ * root.  This helper is exact for every representable input.
+ */
+
+#ifndef UOV_GEOMETRY_ISQRT_H
+#define UOV_GEOMETRY_ISQRT_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/error.h"
+
+namespace uov {
+
+/** floor(sqrt(n)) computed exactly. @pre n >= 0 */
+inline int64_t
+isqrt64(int64_t n)
+{
+    UOV_CHECK(n >= 0, "isqrt64 of negative " << n);
+    if (n < 2)
+        return n;
+    // Double sqrt gives a guess within 1 ulp; correct it with exact
+    // integer comparisons.  Guard r*r against overflow: the true root
+    // is < 2^32, so clamp the guess before squaring.
+    auto r = static_cast<int64_t>(std::sqrt(static_cast<double>(n)));
+    constexpr int64_t kMaxRoot = 3037000499; // floor(sqrt(INT64_MAX))
+    if (r > kMaxRoot)
+        r = kMaxRoot;
+    while (r > 0 && r * r > n)
+        --r;
+    while (r < kMaxRoot && (r + 1) * (r + 1) <= n)
+        ++r;
+    return r;
+}
+
+} // namespace uov
+
+#endif // UOV_GEOMETRY_ISQRT_H

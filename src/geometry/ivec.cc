@@ -10,17 +10,17 @@ namespace uov {
 int64_t
 IVec::operator[](size_t i) const
 {
-    UOV_CHECK(i < _c.size(), "IVec index " << i << " out of range "
-                                           << _c.size());
-    return _c[i];
+    UOV_CHECK(i < _size, "IVec index " << i << " out of range "
+                                       << _size);
+    return data()[i];
 }
 
 int64_t &
 IVec::operator[](size_t i)
 {
-    UOV_CHECK(i < _c.size(), "IVec index " << i << " out of range "
-                                           << _c.size());
-    return _c[i];
+    UOV_CHECK(i < _size, "IVec index " << i << " out of range "
+                                       << _size);
+    return data()[i];
 }
 
 IVec
@@ -29,8 +29,10 @@ IVec::operator+(const IVec &o) const
     UOV_CHECK(dim() == o.dim(), "dimension mismatch " << dim() << " vs "
                                                       << o.dim());
     IVec r(dim());
-    for (size_t i = 0; i < dim(); ++i)
-        r._c[i] = checkedAdd(_c[i], o._c[i]);
+    const int64_t *a = data(), *b = o.data();
+    int64_t *out = r.data();
+    for (size_t i = 0; i < _size; ++i)
+        out[i] = checkedAdd(a[i], b[i]);
     return r;
 }
 
@@ -40,8 +42,10 @@ IVec::operator-(const IVec &o) const
     UOV_CHECK(dim() == o.dim(), "dimension mismatch " << dim() << " vs "
                                                       << o.dim());
     IVec r(dim());
-    for (size_t i = 0; i < dim(); ++i)
-        r._c[i] = checkedSub(_c[i], o._c[i]);
+    const int64_t *a = data(), *b = o.data();
+    int64_t *out = r.data();
+    for (size_t i = 0; i < _size; ++i)
+        out[i] = checkedSub(a[i], b[i]);
     return r;
 }
 
@@ -49,8 +53,10 @@ IVec
 IVec::operator-() const
 {
     IVec r(dim());
-    for (size_t i = 0; i < dim(); ++i)
-        r._c[i] = checkedNeg(_c[i]);
+    const int64_t *a = data();
+    int64_t *out = r.data();
+    for (size_t i = 0; i < _size; ++i)
+        out[i] = checkedNeg(a[i]);
     return r;
 }
 
@@ -58,22 +64,34 @@ IVec
 IVec::operator*(int64_t s) const
 {
     IVec r(dim());
-    for (size_t i = 0; i < dim(); ++i)
-        r._c[i] = checkedMul(_c[i], s);
+    const int64_t *a = data();
+    int64_t *out = r.data();
+    for (size_t i = 0; i < _size; ++i)
+        out[i] = checkedMul(a[i], s);
     return r;
 }
 
 IVec &
 IVec::operator+=(const IVec &o)
 {
-    *this = *this + o;
+    UOV_CHECK(dim() == o.dim(), "dimension mismatch " << dim() << " vs "
+                                                      << o.dim());
+    int64_t *a = data();
+    const int64_t *b = o.data();
+    for (size_t i = 0; i < _size; ++i)
+        a[i] = checkedAdd(a[i], b[i]);
     return *this;
 }
 
 IVec &
 IVec::operator-=(const IVec &o)
 {
-    *this = *this - o;
+    UOV_CHECK(dim() == o.dim(), "dimension mismatch " << dim() << " vs "
+                                                      << o.dim());
+    int64_t *a = data();
+    const int64_t *b = o.data();
+    for (size_t i = 0; i < _size; ++i)
+        a[i] = checkedSub(a[i], b[i]);
     return *this;
 }
 
@@ -81,14 +99,20 @@ bool
 IVec::operator<(const IVec &o) const
 {
     UOV_CHECK(dim() == o.dim(), "dimension mismatch in comparison");
-    return _c < o._c;
+    const int64_t *a = data(), *b = o.data();
+    for (size_t i = 0; i < _size; ++i) {
+        if (a[i] != b[i])
+            return a[i] < b[i];
+    }
+    return false;
 }
 
 bool
 IVec::isZero() const
 {
-    for (int64_t c : _c)
-        if (c != 0)
+    const int64_t *a = data();
+    for (size_t i = 0; i < _size; ++i)
+        if (a[i] != 0)
             return false;
     return true;
 }
@@ -96,10 +120,11 @@ IVec::isZero() const
 bool
 IVec::isLexPositive() const
 {
-    for (int64_t c : _c) {
-        if (c > 0)
+    const int64_t *a = data();
+    for (size_t i = 0; i < _size; ++i) {
+        if (a[i] > 0)
             return true;
-        if (c < 0)
+        if (a[i] < 0)
             return false;
     }
     return false;
@@ -109,9 +134,10 @@ int64_t
 IVec::dot(const IVec &o) const
 {
     UOV_CHECK(dim() == o.dim(), "dimension mismatch in dot product");
+    const int64_t *a = data(), *b = o.data();
     int64_t acc = 0;
-    for (size_t i = 0; i < dim(); ++i)
-        acc = checkedAdd(acc, checkedMul(_c[i], o._c[i]));
+    for (size_t i = 0; i < _size; ++i)
+        acc = checkedAdd(acc, checkedMul(a[i], b[i]));
     return acc;
 }
 
@@ -124,20 +150,22 @@ IVec::normSquared() const
 int64_t
 IVec::norm1() const
 {
+    const int64_t *a = data();
     int64_t acc = 0;
-    for (int64_t c : _c)
-        acc = checkedAdd(acc, checkedAbs(c));
+    for (size_t i = 0; i < _size; ++i)
+        acc = checkedAdd(acc, checkedAbs(a[i]));
     return acc;
 }
 
 int64_t
 IVec::normInf() const
 {
+    const int64_t *a = data();
     int64_t m = 0;
-    for (int64_t c : _c) {
-        int64_t a = checkedAbs(c);
-        if (a > m)
-            m = a;
+    for (size_t i = 0; i < _size; ++i) {
+        int64_t v = checkedAbs(a[i]);
+        if (v > m)
+            m = v;
     }
     return m;
 }
@@ -145,9 +173,10 @@ IVec::normInf() const
 int64_t
 IVec::content() const
 {
+    const int64_t *a = data();
     int64_t g = 0;
-    for (int64_t c : _c)
-        g = gcd64(g, c);
+    for (size_t i = 0; i < _size; ++i)
+        g = gcd64(g, a[i]);
     return g;
 }
 
@@ -156,10 +185,12 @@ IVec::dividedBy(int64_t s) const
 {
     UOV_CHECK(s != 0, "division by zero");
     IVec r(dim());
-    for (size_t i = 0; i < dim(); ++i) {
-        UOV_CHECK(_c[i] % s == 0,
-                  s << " does not divide coordinate " << _c[i]);
-        r._c[i] = _c[i] / s;
+    const int64_t *a = data();
+    int64_t *out = r.data();
+    for (size_t i = 0; i < _size; ++i) {
+        UOV_CHECK(a[i] % s == 0,
+                  s << " does not divide coordinate " << a[i]);
+        out[i] = a[i] / s;
     }
     return r;
 }
@@ -177,8 +208,9 @@ IVec::hash() const
 {
     // FNV-1a over the coordinate bytes; stable and fast for short vectors.
     size_t h = 1469598103934665603ULL;
-    for (int64_t c : _c) {
-        auto u = static_cast<uint64_t>(c);
+    const int64_t *a = data();
+    for (size_t i = 0; i < _size; ++i) {
+        auto u = static_cast<uint64_t>(a[i]);
         for (int b = 0; b < 8; ++b) {
             h ^= (u >> (8 * b)) & 0xff;
             h *= 1099511628211ULL;

@@ -5,12 +5,21 @@
  * The workhorse type of the library: dependence distances, occupancy
  * vectors, mapping vectors and iteration points are all IVecs.  All
  * arithmetic is overflow-checked.
+ *
+ * Representation: coordinates live inline (no heap) up to
+ * kInlineCapacity = 4 dimensions -- covering every stencil in the
+ * paper, the corpus and the benches -- and spill to one heap array
+ * beyond that.  Hot loops (search, cone membership) therefore add,
+ * hash and compare IVecs without touching the allocator.  Code that
+ * needs raw coordinate access uses data()/dim(); the span stays valid
+ * until the vector is mutated in dimension or destroyed.
  */
 
 #ifndef UOV_GEOMETRY_IVEC_H
 #define UOV_GEOMETRY_IVEC_H
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <initializer_list>
 #include <ostream>
@@ -23,24 +32,92 @@ namespace uov {
 class IVec
 {
   public:
+    /** Dimensions held inline without heap allocation. */
+    static constexpr size_t kInlineCapacity = 4;
+
     /** Zero-dimensional vector (useful as a placeholder). */
     IVec() = default;
 
     /** Zero vector of dimension @p dim. */
-    explicit IVec(size_t dim) : _c(dim, 0) {}
+    explicit IVec(size_t dim) : _size(dim)
+    {
+        int64_t *p = alloc(dim);
+        for (size_t i = 0; i < dim; ++i)
+            p[i] = 0;
+    }
 
     /** From explicit coordinates: IVec{1, -2}. */
-    IVec(std::initializer_list<int64_t> coords) : _c(coords) {}
+    IVec(std::initializer_list<int64_t> coords)
+        : IVec(coords.begin(), coords.size())
+    {
+    }
 
     /** From a coordinate vector. */
-    explicit IVec(std::vector<int64_t> coords) : _c(std::move(coords)) {}
+    explicit IVec(const std::vector<int64_t> &coords)
+        : IVec(coords.data(), coords.size())
+    {
+    }
 
-    size_t dim() const { return _c.size(); }
+    /** From @p n packed coordinates (flat-map / arena interop). */
+    IVec(const int64_t *coords, size_t n) : _size(n)
+    {
+        int64_t *p = alloc(n);
+        if (n)
+            std::memcpy(p, coords, n * sizeof(int64_t));
+    }
+
+    IVec(const IVec &o) : IVec(o.data(), o._size) {}
+
+    IVec(IVec &&o) noexcept : _size(o._size)
+    {
+        if (isInline())
+            std::memcpy(_buf, o._buf, sizeof(_buf));
+        else
+            _heap = o._heap;
+        o._size = 0;
+    }
+
+    IVec &
+    operator=(const IVec &o)
+    {
+        if (this == &o)
+            return *this;
+        assign(o.data(), o._size);
+        return *this;
+    }
+
+    IVec &
+    operator=(IVec &&o) noexcept
+    {
+        if (this == &o)
+            return *this;
+        release();
+        _size = o._size;
+        if (isInline())
+            std::memcpy(_buf, o._buf, sizeof(_buf));
+        else
+            _heap = o._heap;
+        o._size = 0;
+        return *this;
+    }
+
+    ~IVec() { release(); }
+
+    size_t dim() const { return _size; }
 
     int64_t operator[](size_t i) const;
     int64_t &operator[](size_t i);
 
-    const std::vector<int64_t> &coords() const { return _c; }
+    /** Raw coordinates; valid until resize/destruction. */
+    const int64_t *data() const { return isInline() ? _buf : _heap; }
+    int64_t *data() { return isInline() ? _buf : _heap; }
+
+    /** Coordinates as a std::vector (materialized copy). */
+    std::vector<int64_t>
+    coords() const
+    {
+        return std::vector<int64_t>(data(), data() + _size);
+    }
 
     /** Component-wise arithmetic; dimensions must match. */
     IVec operator+(const IVec &o) const;
@@ -50,8 +127,15 @@ class IVec
     IVec &operator+=(const IVec &o);
     IVec &operator-=(const IVec &o);
 
-    bool operator==(const IVec &o) const { return _c == o._c; }
-    bool operator!=(const IVec &o) const { return _c != o._c; }
+    bool
+    operator==(const IVec &o) const
+    {
+        return _size == o._size &&
+               (_size == 0 ||
+                std::memcmp(data(), o.data(),
+                            _size * sizeof(int64_t)) == 0);
+    }
+    bool operator!=(const IVec &o) const { return !(*this == o); }
 
     /** Lexicographic order (for use as map keys and schedule order). */
     bool operator<(const IVec &o) const;
@@ -96,7 +180,46 @@ class IVec
     size_t hash() const;
 
   private:
-    std::vector<int64_t> _c;
+    bool isInline() const { return _size <= kInlineCapacity; }
+
+    /** Set _size-dependent storage; returns the coordinate array. */
+    int64_t *
+    alloc(size_t n)
+    {
+        _size = n;
+        if (n <= kInlineCapacity)
+            return _buf;
+        _heap = new int64_t[n];
+        return _heap;
+    }
+
+    void
+    release()
+    {
+        if (!isInline())
+            delete[] _heap;
+    }
+
+    void
+    assign(const int64_t *coords, size_t n)
+    {
+        if (n == _size) {
+            if (n)
+                std::memmove(data(), coords, n * sizeof(int64_t));
+            return;
+        }
+        release();
+        int64_t *p = alloc(n);
+        if (n)
+            std::memcpy(p, coords, n * sizeof(int64_t));
+    }
+
+    size_t _size = 0;
+    union
+    {
+        int64_t _buf[kInlineCapacity];
+        int64_t *_heap;
+    };
 };
 
 std::ostream &operator<<(std::ostream &os, const IVec &v);

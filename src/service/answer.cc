@@ -56,8 +56,8 @@ solveCanonical(const Stencil &canonical, SearchObjective objective,
                     "storage objective requires ISG bounds");
         options.isg = Polyhedron::box(*isg_lo, *isg_hi);
     }
-    SearchResult result =
-        BranchBoundSearch(canonical, objective, options).run();
+    BranchBoundSearch search(canonical, objective, options);
+    SearchResult result = search.run();
 
     ServiceAnswer answer;
     answer.best_uov = result.best_uov;
@@ -67,7 +67,9 @@ solveCanonical(const Stencil &canonical, SearchObjective objective,
     answer.degraded = result.degraded();
     answer.degraded_reason = result.degraded_reason;
 
-    UovOracle oracle(canonical);
+    // Certification shares the search's cone memo: membership
+    // subproblems proved during run()'s verification pass are reused.
+    UovOracle oracle(search.memo());
     auto cert = oracle.certify(result.best_uov);
     UOV_CHECK(cert.has_value(),
               "search result " << result.best_uov.str()

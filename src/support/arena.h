@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Bump (arena) allocation for the search core.
+ *
+ * The branch-and-bound frontier, the cone solver's iterative stack and
+ * the flat point-state tables allocate millions of tiny, same-lifetime
+ * objects per query.  A bump allocator turns each of those allocations
+ * into a pointer increment and frees them all at once, keeping the
+ * working set dense (see DESIGN.md "Search-core memory layout").
+ *
+ * Rules:
+ *  - Individual allocations are never freed; reset() / Scope rewind
+ *    whole regions at once.  Destructors are NOT run -- only
+ *    trivially-destructible types may live in an arena.
+ *  - Pointers into an arena are valid until the enclosing reset() or
+ *    Scope rewind, and must not outlive the Arena itself.
+ *  - Arenas are single-threaded; give each worker its own.
+ */
+
+#ifndef UOV_SUPPORT_ARENA_H
+#define UOV_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.h"
+
+namespace uov {
+
+/** Chunked bump allocator with O(1) whole-region reset. */
+class Arena
+{
+  public:
+    /** @param first_chunk_bytes capacity of the first chunk; later
+     *        chunks double until kMaxChunkBytes. */
+    explicit Arena(size_t first_chunk_bytes = 1u << 12)
+        : _next_chunk_bytes(first_chunk_bytes ? first_chunk_bytes : 1)
+    {
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Bump-allocate @p bytes aligned to @p align (a power of two). */
+    void *
+    allocate(size_t bytes, size_t align)
+    {
+        UOV_CHECK(align != 0 && (align & (align - 1)) == 0,
+                  "arena alignment " << align << " is not a power of two");
+        if (bytes == 0)
+            bytes = 1; // keep returned pointers distinct
+        while (_current < _chunks.size()) {
+            Chunk &c = _chunks[_current];
+            size_t at = (c.used + align - 1) & ~(align - 1);
+            if (at + bytes <= c.size) {
+                c.used = at + bytes;
+                _bytes_used += bytes;
+                return c.data.get() + at;
+            }
+            // Chunk exhausted for this request; move on.  Partially
+            // used chunks keep their contents (nothing is freed).
+            ++_current;
+        }
+        addChunk(bytes + align);
+        Chunk &c = _chunks.back();
+        size_t at = (c.used + align - 1) & ~(align - 1);
+        c.used = at + bytes;
+        _bytes_used += bytes;
+        return c.data.get() + at;
+    }
+
+    /** Typed array allocation; elements are NOT initialized. */
+    template <typename T>
+    T *
+    allocateArray(size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory never runs destructors");
+        return static_cast<T *>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /** Rewind everything; chunk memory is retained for reuse. */
+    void
+    reset()
+    {
+        for (Chunk &c : _chunks)
+            c.used = 0;
+        _current = 0;
+        _bytes_used = 0;
+    }
+
+    /** Bytes handed out since construction or the last reset(). */
+    size_t bytesUsed() const { return _bytes_used; }
+
+    /** Bytes of chunk capacity owned (the arena's real footprint). */
+    size_t
+    bytesReserved() const
+    {
+        size_t total = 0;
+        for (const Chunk &c : _chunks)
+            total += c.size;
+        return total;
+    }
+
+    /**
+     * RAII scope: everything allocated after construction is rewound
+     * (not destroyed -- see the trivially-destructible rule) when the
+     * scope dies.  Scopes must nest like stack frames.
+     */
+    class Scope
+    {
+      public:
+        explicit Scope(Arena &arena)
+            : _arena(arena), _chunk(arena._current),
+              _used(arena._current < arena._chunks.size()
+                        ? arena._chunks[arena._current].used
+                        : 0),
+              _bytes(arena._bytes_used)
+        {
+        }
+
+        ~Scope()
+        {
+            for (size_t i = _chunk + 1; i < _arena._chunks.size(); ++i)
+                _arena._chunks[i].used = 0;
+            if (_chunk < _arena._chunks.size())
+                _arena._chunks[_chunk].used = _used;
+            _arena._current = _chunk;
+            _arena._bytes_used = _bytes;
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        Arena &_arena;
+        size_t _chunk;
+        size_t _used;
+        size_t _bytes;
+    };
+
+  private:
+    /** Cap on chunk growth so a huge query doesn't hoard memory. */
+    static constexpr size_t kMaxChunkBytes = size_t{16} << 20;
+
+    struct Chunk
+    {
+        std::unique_ptr<char[]> data;
+        size_t size = 0;
+        size_t used = 0;
+    };
+
+    void
+    addChunk(size_t min_bytes)
+    {
+        size_t size = _next_chunk_bytes;
+        if (size < min_bytes)
+            size = min_bytes;
+        Chunk c;
+        c.data = std::make_unique<char[]>(size);
+        c.size = size;
+        _chunks.push_back(std::move(c));
+        _current = _chunks.size() - 1;
+        if (_next_chunk_bytes < kMaxChunkBytes)
+            _next_chunk_bytes =
+                std::min(kMaxChunkBytes, _next_chunk_bytes * 2);
+    }
+
+    std::vector<Chunk> _chunks;
+    size_t _current = 0;
+    size_t _bytes_used = 0;
+    size_t _next_chunk_bytes;
+};
+
+} // namespace uov
+
+#endif // UOV_SUPPORT_ARENA_H

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Flat, arena-backed containers for the search core.
+ *
+ *  - ArenaVector<T>: a growable array of trivially-copyable elements
+ *    whose storage comes from an Arena (doubling growth; the old block
+ *    is abandoned to the arena, which is the bump-allocation deal).
+ *  - PackedCoordMap<Value>: an open-addressing hash map whose keys are
+ *    packed fixed-dimension int64 coordinate tuples.  Entries are
+ *    identified by dense 32-bit handles (insertion order), so client
+ *    structures -- frontiers, heaps, memo stacks -- can hold 4-byte
+ *    handles instead of copied coordinate vectors.  Handles stay
+ *    stable across rehash; only the slot index is rebuilt.
+ *
+ * Both containers are single-threaded and never run destructors; see
+ * support/arena.h for the lifetime rules.
+ */
+
+#ifndef UOV_SUPPORT_FLAT_MAP_H
+#define UOV_SUPPORT_FLAT_MAP_H
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "support/arena.h"
+#include "support/error.h"
+
+namespace uov {
+
+/** Growable trivially-copyable array on an Arena. */
+template <typename T>
+class ArenaVector
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ArenaVector grows by memcpy");
+
+  public:
+    explicit ArenaVector(Arena &arena, size_t initial_capacity = 16)
+        : _arena(&arena)
+    {
+        reserve(initial_capacity ? initial_capacity : 1);
+    }
+
+    size_t size() const { return _size; }
+    size_t capacity() const { return _capacity; }
+    bool empty() const { return _size == 0; }
+
+    T *data() { return _data; }
+    const T *data() const { return _data; }
+
+    T &operator[](size_t i) { return _data[i]; }
+    const T &operator[](size_t i) const { return _data[i]; }
+
+    T &back() { return _data[_size - 1]; }
+
+    void
+    push_back(const T &v)
+    {
+        if (_size == _capacity)
+            reserve(_capacity * 2);
+        _data[_size++] = v;
+    }
+
+    void pop_back() { --_size; }
+
+    /** Drop all elements; capacity (and arena bytes) are kept. */
+    void clear() { _size = 0; }
+
+    void
+    reserve(size_t capacity)
+    {
+        if (capacity <= _capacity)
+            return;
+        T *grown = _arena->allocateArray<T>(capacity);
+        if (_size)
+            std::memcpy(grown, _data, _size * sizeof(T));
+        _data = grown;
+        _capacity = capacity;
+    }
+
+  private:
+    Arena *_arena;
+    T *_data = nullptr;
+    size_t _size = 0;
+    size_t _capacity = 0;
+};
+
+/**
+ * Open-addressing (linear probing) hash map over packed coordinate
+ * keys.  Keys are @p dim consecutive int64 coordinates; values must be
+ * trivially copyable.  New entries get a value-initialized Value{}.
+ */
+template <typename Value>
+class PackedCoordMap
+{
+    static_assert(std::is_trivially_copyable_v<Value>,
+                  "PackedCoordMap stores values in arena memory");
+
+  public:
+    /** Returned by find() when the key is absent. */
+    static constexpr uint32_t kNone = UINT32_MAX;
+
+    PackedCoordMap(Arena &arena, size_t dim,
+                   size_t initial_slot_count = 64)
+        : _arena(&arena), _dim(dim), _keys(arena, 16 * dim),
+          _values(arena, 16)
+    {
+        UOV_CHECK(dim > 0, "PackedCoordMap needs dimension >= 1");
+        size_t slots = 16;
+        while (slots < initial_slot_count)
+            slots *= 2;
+        _slot_mask = slots - 1;
+        _slots = arena.allocateArray<uint32_t>(slots);
+        std::memset(_slots, 0xff, slots * sizeof(uint32_t));
+    }
+
+    size_t dim() const { return _dim; }
+    uint32_t size() const { return static_cast<uint32_t>(_values.size()); }
+
+    /** Handle of @p coords, or kNone when absent. */
+    uint32_t
+    find(const int64_t *coords) const
+    {
+        size_t at = hashKey(coords) & _slot_mask;
+        for (;; at = (at + 1) & _slot_mask) {
+            uint32_t h = _slots[at];
+            if (h == kNone)
+                return kNone;
+            if (keyEquals(h, coords))
+                return h;
+        }
+    }
+
+    /**
+     * Handle of @p coords, inserting a value-initialized entry when
+     * absent.  @p inserted (optional) reports which case happened.
+     */
+    uint32_t
+    findOrInsert(const int64_t *coords, bool *inserted = nullptr)
+    {
+        size_t at = hashKey(coords) & _slot_mask;
+        for (;; at = (at + 1) & _slot_mask) {
+            uint32_t h = _slots[at];
+            if (h == kNone)
+                break;
+            if (keyEquals(h, coords)) {
+                if (inserted)
+                    *inserted = false;
+                return h;
+            }
+        }
+        UOV_CHECK(_values.size() < kNone,
+                  "PackedCoordMap exceeded 2^32 - 1 entries");
+        auto handle = static_cast<uint32_t>(_values.size());
+        for (size_t c = 0; c < _dim; ++c)
+            _keys.push_back(coords[c]);
+        _values.push_back(Value{});
+        _slots[at] = handle;
+        if (inserted)
+            *inserted = true;
+        // Rehash at 70% load so probe chains stay short.
+        if (_values.size() * 10 > (_slot_mask + 1) * 7)
+            rehash();
+        return handle;
+    }
+
+    Value &value(uint32_t handle) { return _values[handle]; }
+    const Value &value(uint32_t handle) const { return _values[handle]; }
+
+    /** The packed coordinates of @p handle (dim() int64s). */
+    const int64_t *
+    key(uint32_t handle) const
+    {
+        return _keys.data() + size_t{handle} * _dim;
+    }
+
+  private:
+    uint64_t
+    hashKey(const int64_t *coords) const
+    {
+        // SplitMix64-style per-coordinate mixing: cheap, and strong
+        // enough that linear probing stays near one probe per lookup.
+        uint64_t h = 0x9e3779b97f4a7c15ULL ^ (_dim * 0xff51afd7ed558ccdULL);
+        for (size_t c = 0; c < _dim; ++c) {
+            auto x = static_cast<uint64_t>(coords[c]);
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+            h = (h ^ (x ^ (x >> 31))) * 0x2545f4914f6cdd1dULL;
+        }
+        return h ^ (h >> 29);
+    }
+
+    bool
+    keyEquals(uint32_t handle, const int64_t *coords) const
+    {
+        return std::memcmp(key(handle), coords,
+                           _dim * sizeof(int64_t)) == 0;
+    }
+
+    void
+    rehash()
+    {
+        size_t slots = (_slot_mask + 1) * 2;
+        _slots = _arena->allocateArray<uint32_t>(slots);
+        std::memset(_slots, 0xff, slots * sizeof(uint32_t));
+        _slot_mask = slots - 1;
+        for (uint32_t h = 0; h < _values.size(); ++h) {
+            size_t at = hashKey(key(h)) & _slot_mask;
+            while (_slots[at] != kNone)
+                at = (at + 1) & _slot_mask;
+            _slots[at] = h;
+        }
+    }
+
+    Arena *_arena;
+    size_t _dim;
+    ArenaVector<int64_t> _keys;
+    ArenaVector<Value> _values;
+    uint32_t *_slots = nullptr;
+    size_t _slot_mask = 0;
+};
+
+} // namespace uov
+
+#endif // UOV_SUPPORT_FLAT_MAP_H

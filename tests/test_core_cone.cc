@@ -162,5 +162,84 @@ TEST(ConeSolver, BudgetErrorNamesTheStencil)
     }
 }
 
+TEST(ConeSolver, SemigroupGapCertificates)
+{
+    // {2, 3, 5} generates the numerical semigroup with gap 1: every
+    // n >= 2 is reachable, 1 is not.  The canonicalizer keeps this
+    // stencil intact precisely because no generator is implied by the
+    // others, so certificates must be exact here.
+    Stencil s({IVec{2, 0}, IVec{3, 0}, IVec{5, 0}});
+    ConeSolver solver(s);
+
+    EXPECT_FALSE(solver.contains(IVec{1, 0}));
+    EXPECT_FALSE(solver.certificate(IVec{1, 0}).has_value());
+
+    for (int64_t n = 2; n <= 20; ++n) {
+        auto cert = solver.certificate(IVec{n, 0});
+        ASSERT_TRUE(cert.has_value()) << "n=" << n;
+        ASSERT_EQ(cert->size(), 3u);
+        int64_t sum = (*cert)[0] * 2 + (*cert)[1] * 3 + (*cert)[2] * 5;
+        EXPECT_EQ(sum, n) << "n=" << n;
+        for (int64_t coeff : *cert)
+            EXPECT_GE(coeff, 0) << "n=" << n;
+    }
+    // Off the generator line nothing is reachable.
+    EXPECT_FALSE(solver.contains(IVec{7, 1}));
+}
+
+TEST(ConeSolver, MemoReuseAcrossRepeatedQueries)
+{
+    // Second identical contains()/certificate() queries must be pure
+    // memo walks: the node counter does not grow at all.
+    Stencil s({IVec{2, 0}, IVec{3, 0}, IVec{5, 0}});
+    ConeSolver solver(s);
+
+    EXPECT_TRUE(solver.contains(IVec{17, 0}));
+    auto first_cert = solver.certificate(IVec{17, 0});
+    ASSERT_TRUE(first_cert.has_value());
+    uint64_t nodes = solver.nodesExpanded();
+    uint64_t memo = solver.memoSize();
+    EXPECT_GT(nodes, 0u);
+
+    EXPECT_TRUE(solver.contains(IVec{17, 0}));
+    auto second_cert = solver.certificate(IVec{17, 0});
+    ASSERT_TRUE(second_cert.has_value());
+    EXPECT_EQ(*second_cert, *first_cert);
+    EXPECT_EQ(solver.nodesExpanded(), nodes);
+    EXPECT_EQ(solver.memoSize(), memo);
+}
+
+TEST(ConeSolver, SharedMemoMakesSiblingQueriesFree)
+{
+    // A sibling solver sharing the memo answers already-proved
+    // subproblems without expanding a single node of its own.
+    auto memo = std::make_shared<ConeMemo>(
+        Stencil({IVec{2, 0}, IVec{3, 0}, IVec{5, 0}}));
+    ConeSolver first(memo);
+    EXPECT_TRUE(first.contains(IVec{17, 0}));
+    EXPECT_GT(first.nodesExpanded(), 0u);
+
+    ConeSolver second(memo);
+    EXPECT_TRUE(second.contains(IVec{17, 0}));
+    EXPECT_EQ(second.nodesExpanded(), 0u);
+    EXPECT_EQ(second.memoSize(), first.memoSize());
+}
+
+TEST(ConeSolver, SharedMemoServesOracleAndDoneDead)
+{
+    // The memo() accessor exists so UovOracle / DoneDeadAnalysis over
+    // the same stencil can pool membership work; verify the pooled
+    // answers match fresh solvers.
+    Stencil s({IVec{1, 1}, IVec{1, -1}});
+    ConeSolver pooled(s);
+    EXPECT_TRUE(pooled.contains(IVec{2, 0}));
+    size_t memo_after_first = pooled.memoSize();
+
+    ConeSolver sibling(pooled.memo());
+    EXPECT_TRUE(sibling.contains(IVec{2, 0}));
+    EXPECT_EQ(sibling.nodesExpanded(), 0u);
+    EXPECT_EQ(pooled.memoSize(), memo_after_first);
+}
+
 } // namespace
 } // namespace uov

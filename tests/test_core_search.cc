@@ -286,5 +286,45 @@ TEST(Search, WideStencilStress)
     EXPECT_EQ(r.best_uov, (IVec{2, 0}));
 }
 
+TEST(Search, ThirtyThreeDependencesRejectedWithMessage)
+{
+    // PATHSETs are uint32_t masks: (1u << m) is undefined past m = 32,
+    // so 33 distinct dependences must be rejected up front with a
+    // message naming the limit, not fed into the search.
+    std::vector<IVec> deps;
+    for (int64_t k = 0; k < 33; ++k)
+        deps.push_back(IVec{1, k});
+    try {
+        Stencil s(deps);
+        FAIL() << "expected UovUserError";
+    } catch (const UovUserError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("33"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("32"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("PATHSET"), std::string::npos) << msg;
+    }
+}
+
+TEST(Search, ThirtyTwoDependenceBoundaryRuns)
+{
+    // Exactly 32 dependences is legal and exercises the full_mask ==
+    // 0xffffffff special case ((1u << 32) - 1 would be UB).  A tight
+    // node budget keeps it fast; the degraded result is still a
+    // certified UOV.
+    std::vector<IVec> deps;
+    for (int64_t k = 0; k < 32; ++k)
+        deps.push_back(IVec{1, k});
+    Stencil s(deps);
+    ASSERT_EQ(s.size(), 32u);
+
+    SearchOptions options;
+    options.budget.max_nodes = 2000;
+    BranchBoundSearch search(s, SearchObjective::ShortestVector,
+                             options);
+    SearchResult r = search.run();
+    EXPECT_TRUE(UovOracle(s).isUov(r.best_uov));
+    EXPECT_LE(r.stats.visited, 2000u);
+}
+
 } // namespace
 } // namespace uov

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the exact integer square root (geometry/isqrt.h),
+ * including the near-2^63 range where std::sqrt(double)-derived
+ * answers go wrong.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "geometry/isqrt.h"
+#include "support/error.h"
+
+namespace uov {
+namespace {
+
+TEST(Isqrt64, SmallValues)
+{
+    EXPECT_EQ(isqrt64(0), 0);
+    EXPECT_EQ(isqrt64(1), 1);
+    EXPECT_EQ(isqrt64(2), 1);
+    EXPECT_EQ(isqrt64(3), 1);
+    EXPECT_EQ(isqrt64(4), 2);
+    EXPECT_EQ(isqrt64(99), 9);
+    EXPECT_EQ(isqrt64(100), 10);
+    EXPECT_EQ(isqrt64(101), 10);
+}
+
+TEST(Isqrt64, PerfectSquaresAndNeighbors)
+{
+    // For every r in a mixed sweep: isqrt(r^2) == r, isqrt(r^2 - 1)
+    // == r - 1, isqrt(r^2 + 1) == r (the off-by-one boundary).
+    for (int64_t r : {2LL, 3LL, 10LL, 1000LL, 65535LL, 65536LL,
+                      1LL << 26, (1LL << 31) - 1, 3037000499LL}) {
+        int64_t sq = r * r;
+        EXPECT_EQ(isqrt64(sq), r) << "r=" << r;
+        EXPECT_EQ(isqrt64(sq - 1), r - 1) << "r=" << r;
+        if (sq <= INT64_MAX - 1)
+            EXPECT_EQ(isqrt64(sq + 1), r) << "r=" << r;
+    }
+}
+
+TEST(Isqrt64, ExactNearDoublePrecisionLimit)
+{
+    // Above 2^53 doubles cannot represent every integer, so the naive
+    // cast-of-sqrt is off by one in both directions around perfect
+    // squares.  These must all be exact.
+    constexpr int64_t r = 94906266; // isqrt(2^53) + 1 territory
+    EXPECT_EQ(isqrt64(r * r), r);
+    EXPECT_EQ(isqrt64(r * r - 1), r - 1);
+    EXPECT_EQ(isqrt64(r * r + 1), r);
+}
+
+TEST(Isqrt64, Int64MaxAdjacent)
+{
+    constexpr int64_t kMaxRoot = 3037000499; // floor(sqrt(INT64_MAX))
+    EXPECT_EQ(isqrt64(INT64_MAX), kMaxRoot);
+    EXPECT_EQ(isqrt64(INT64_MAX - 1), kMaxRoot);
+    EXPECT_EQ(isqrt64(kMaxRoot * kMaxRoot), kMaxRoot);
+    EXPECT_EQ(isqrt64(kMaxRoot * kMaxRoot - 1), kMaxRoot - 1);
+    // (kMaxRoot + 1)^2 would overflow int64, so every n above
+    // kMaxRoot^2 has root exactly kMaxRoot.
+    EXPECT_EQ(isqrt64(kMaxRoot * kMaxRoot + 1), kMaxRoot);
+}
+
+TEST(Isqrt64, MonotoneOverBoundarySweep)
+{
+    int64_t prev = -1;
+    for (int64_t n = 0; n < 5000; ++n) {
+        int64_t r = isqrt64(n);
+        EXPECT_LE(r * r, n);
+        EXPECT_GT((r + 1) * (r + 1), n);
+        EXPECT_GE(r, prev);
+        prev = r;
+    }
+}
+
+TEST(Isqrt64, RejectsNegative)
+{
+    EXPECT_THROW(isqrt64(-1), UovError);
+    EXPECT_THROW(isqrt64(INT64_MIN), UovError);
+}
+
+} // namespace
+} // namespace uov

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the bump allocator (support/arena.h) and the flat
+ * arena-backed containers (support/flat_map.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "support/arena.h"
+#include "support/flat_map.h"
+
+namespace uov {
+namespace {
+
+TEST(Arena, AllocationsAreDistinctAndAligned)
+{
+    Arena arena;
+    void *a = arena.allocate(1, 1);
+    void *b = arena.allocate(1, 1);
+    EXPECT_NE(a, b);
+
+    auto *p = arena.allocateArray<int64_t>(3);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(int64_t), 0u);
+    p[0] = 1;
+    p[1] = 2;
+    p[2] = 3;
+    EXPECT_EQ(p[0] + p[1] + p[2], 6);
+}
+
+TEST(Arena, ZeroByteAllocationsStayDistinct)
+{
+    Arena arena;
+    void *a = arena.allocate(0, 1);
+    void *b = arena.allocate(0, 1);
+    EXPECT_NE(a, b);
+}
+
+TEST(Arena, GrowsAcrossChunks)
+{
+    Arena arena(64); // tiny first chunk forces growth
+    std::vector<char *> blocks;
+    for (int i = 0; i < 100; ++i) {
+        auto *p = static_cast<char *>(arena.allocate(40, 8));
+        std::memset(p, i, 40);
+        blocks.push_back(p);
+    }
+    // Every block retains its contents: nothing was recycled.
+    for (int i = 0; i < 100; ++i)
+        for (int j = 0; j < 40; ++j)
+            EXPECT_EQ(blocks[i][j], static_cast<char>(i));
+    EXPECT_GE(arena.bytesUsed(), 100u * 40u);
+    EXPECT_GE(arena.bytesReserved(), arena.bytesUsed());
+}
+
+TEST(Arena, ResetRetainsCapacityAndRewindsUsage)
+{
+    Arena arena(64);
+    for (int i = 0; i < 50; ++i)
+        arena.allocate(100, 8);
+    size_t reserved = arena.bytesReserved();
+    arena.reset();
+    EXPECT_EQ(arena.bytesUsed(), 0u);
+    EXPECT_EQ(arena.bytesReserved(), reserved);
+    // Re-filling after reset must not grow the reservation.
+    for (int i = 0; i < 50; ++i)
+        arena.allocate(100, 8);
+    EXPECT_EQ(arena.bytesReserved(), reserved);
+}
+
+TEST(Arena, ScopeRewindsNestedAllocations)
+{
+    Arena arena(64);
+    arena.allocate(32, 8);
+    size_t before = arena.bytesUsed();
+    {
+        Arena::Scope scope(arena);
+        for (int i = 0; i < 20; ++i)
+            arena.allocate(64, 8);
+        EXPECT_GT(arena.bytesUsed(), before);
+    }
+    EXPECT_EQ(arena.bytesUsed(), before);
+    // The rewound space is reusable.
+    size_t reserved = arena.bytesReserved();
+    for (int i = 0; i < 20; ++i)
+        arena.allocate(64, 8);
+    EXPECT_EQ(arena.bytesReserved(), reserved);
+}
+
+TEST(Arena, RejectsNonPowerOfTwoAlignment)
+{
+    Arena arena;
+    EXPECT_THROW(arena.allocate(8, 3), UovError);
+}
+
+TEST(ArenaVector, PushGrowClearKeepContents)
+{
+    Arena arena;
+    ArenaVector<int> v(arena, 2);
+    for (int i = 0; i < 1000; ++i)
+        v.push_back(i);
+    ASSERT_EQ(v.size(), 1000u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(v[i], i);
+    EXPECT_EQ(v.back(), 999);
+    v.pop_back();
+    EXPECT_EQ(v.back(), 998);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    EXPECT_GE(v.capacity(), 999u); // capacity survives clear
+}
+
+TEST(PackedCoordMap, FindMissThenInsertThenHit)
+{
+    Arena arena;
+    PackedCoordMap<int> map(arena, 2);
+    int64_t key[2] = {3, -7};
+    EXPECT_EQ(map.find(key), map.kNone);
+
+    bool inserted = false;
+    uint32_t h = map.findOrInsert(key, &inserted);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(map.value(h), 0); // value-initialized
+    map.value(h) = 42;
+
+    inserted = true;
+    EXPECT_EQ(map.findOrInsert(key, &inserted), h);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(map.find(key), h);
+    EXPECT_EQ(map.value(h), 42);
+    EXPECT_EQ(map.key(h)[0], 3);
+    EXPECT_EQ(map.key(h)[1], -7);
+}
+
+TEST(PackedCoordMap, HandlesAreDenseAndStableAcrossRehash)
+{
+    Arena arena;
+    PackedCoordMap<uint32_t> map(arena, 3, 16); // small: force rehashes
+    // Insert a grid big enough to rehash several times.
+    for (int64_t x = 0; x < 12; ++x) {
+        for (int64_t y = 0; y < 12; ++y) {
+            for (int64_t z = 0; z < 4; ++z) {
+                int64_t key[3] = {x, y, z};
+                uint32_t h = map.findOrInsert(key);
+                EXPECT_EQ(h, map.size() - 1); // dense insertion order
+                map.value(h) = static_cast<uint32_t>(x * 100 + y * 10 + z);
+            }
+        }
+    }
+    ASSERT_EQ(map.size(), 12u * 12u * 4u);
+    // Every key still resolves to its original handle and value.
+    for (int64_t x = 0; x < 12; ++x) {
+        for (int64_t y = 0; y < 12; ++y) {
+            for (int64_t z = 0; z < 4; ++z) {
+                int64_t key[3] = {x, y, z};
+                uint32_t h = map.find(key);
+                ASSERT_NE(h, map.kNone);
+                EXPECT_EQ(map.value(h),
+                          static_cast<uint32_t>(x * 100 + y * 10 + z));
+            }
+        }
+    }
+    // Absent keys still miss after all that rehashing.
+    int64_t miss[3] = {99, 99, 99};
+    EXPECT_EQ(map.find(miss), map.kNone);
+}
+
+TEST(PackedCoordMap, NegativeAndLargeCoordinates)
+{
+    Arena arena;
+    PackedCoordMap<int64_t> map(arena, 2);
+    std::vector<std::pair<int64_t, int64_t>> keys = {
+        {INT64_MIN, INT64_MAX}, {-1, 1}, {0, 0},
+        {INT64_MAX, INT64_MIN}, {1LL << 40, -(1LL << 40)}};
+    for (size_t i = 0; i < keys.size(); ++i) {
+        int64_t k[2] = {keys[i].first, keys[i].second};
+        map.value(map.findOrInsert(k)) = static_cast<int64_t>(i);
+    }
+    for (size_t i = 0; i < keys.size(); ++i) {
+        int64_t k[2] = {keys[i].first, keys[i].second};
+        uint32_t h = map.find(k);
+        ASSERT_NE(h, map.kNone);
+        EXPECT_EQ(map.value(h), static_cast<int64_t>(i));
+    }
+}
+
+} // namespace
+} // namespace uov
