@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Regenerate the codegen golden files (tests/data/codegen/*.golden.c)
+# from the triples pinned in tests/codegen_golden_cases.h.
+#
+# Usage: scripts/update_codegen_golden.sh [build-dir]
+#
+# Run after an intentional emitter change, review the diff, and commit
+# the updated files alongside the change.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake --build "$build_dir" --target codegen_golden_gen
+mkdir -p "$repo_root/tests/data/codegen"
+"$build_dir/tests/codegen_golden_gen" "$repo_root/tests/data/codegen"
+
+echo "Review with: git diff tests/data/codegen"

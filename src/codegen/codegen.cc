@@ -1,9 +1,13 @@
 #include "codegen/codegen.h"
 
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "codegen/jit.h"
+#include "codegen/regcost.h"
+#include "mapping/expanded_array.h"
 #include "schedule/legality.h"
 #include "support/error.h"
 #include "support/logging.h"
@@ -54,7 +58,256 @@ callArgs(size_t d, const std::vector<std::string> &exprs)
     return oss.str();
 }
 
+/** The iteration-variable name "q<k>". */
+std::string
+qvar(size_t k)
+{
+    std::ostringstream oss;
+    oss << "q" << k;
+    return oss.str();
+}
+
+/** The iteration-variable expressions "q0".."q<d-1>". */
+std::vector<std::string>
+plainVars(size_t d)
+{
+    std::vector<std::string> qs;
+    for (size_t k = 0; k < d; ++k)
+        qs.push_back(qvar(k));
+    return qs;
+}
+
+bool
+validIdentifier(const std::string &name)
+{
+    if (name.empty() || std::isdigit(static_cast<unsigned char>(name[0])))
+        return false;
+    for (char ch : name)
+        if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '_')
+            return false;
+    return true;
+}
+
+const char *
+scheduleName(GenSchedule s)
+{
+    switch (s) {
+      case GenSchedule::Lexicographic:
+        return "lexicographic";
+      case GenSchedule::SkewedTiled:
+        return "skewed-tiled";
+      case GenSchedule::RegisterTiled:
+        return "register-tiled";
+    }
+    UOV_UNREACHABLE("bad GenSchedule");
+}
+
+/**
+ * One statement instance at the iteration named by @p q (per-dim
+ * expressions), brace-wrapped so copies can be replicated in an
+ * unrolled body.  Mirrored exactly by interpretKernel.
+ */
+std::string
+emitStatement(const DependenceInfo &deps, size_t d,
+              const std::vector<std::string> &q)
+{
+    std::ostringstream body;
+    body << "{\n";
+    body << "    double v = 0.0;\n";
+    for (size_t k = 0; k < deps.reads.size(); ++k) {
+        const IVec &dist = deps.reads[k].distance;
+        std::vector<std::string> args;
+        for (size_t c = 0; c < d; ++c)
+            args.push_back("(" + q[c] + ") - " +
+                           std::to_string(dist[c]) + "L");
+        body << "    v += " << (k + 1) << ".0 * val("
+             << callArgs(d, args) << ");\n";
+    }
+    body << "    v = 0.5*v";
+    for (size_t k = 0; k < d; ++k)
+        body << " + 0.00" << k + 1 << "*(double)(" << q[k] << ")";
+    body << ";\n";
+    body << "    TMP[sm(" << callArgs(d, q) << ")] = v;\n";
+    body << "}\n";
+    return body.str();
+}
+
+/** Re-indent @p text by 4*levels spaces per line. */
+std::string
+indented(const std::string &text, int levels)
+{
+    std::string pad(static_cast<size_t>(4 * levels), ' ');
+    std::istringstream in(text);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line))
+        out << pad << line << "\n";
+    return out.str();
+}
+
+/**
+ * The register-tiled loop nest: lexicographic order with the
+ * innermost loop unrolled by @p unroll and (for d >= 2) the
+ * second-innermost jammed by @p jam, remainder loops covering the
+ * ragged edges.  Copies execute innermost-offset-major, jam-offset
+ * minor -- the in-block order jamLegal's condition assumes.
+ */
+void
+emitRegisterTiled(std::ostream &c, const DependenceInfo &deps,
+                  size_t d, const IVec &lo, const IVec &hi,
+                  int64_t jam, int64_t unroll)
+{
+    size_t u = d - 1;          // innermost dim
+    size_t j = d >= 2 ? d - 2 : 0; // jammed dim (unused when d == 1)
+
+    auto stmt = [&](int64_t a, int64_t b) {
+        std::vector<std::string> q = plainVars(d);
+        if (d >= 2 && a > 0) {
+            std::ostringstream oss;
+            oss << "q" << j << " + " << a << "L";
+            q[j] = oss.str();
+        }
+        if (b > 0) {
+            std::ostringstream oss;
+            oss << "q" << u << " + " << b << "L";
+            q[u] = oss.str();
+        }
+        return emitStatement(deps, d, q);
+    };
+
+    // Innermost loop pair (main unrolled-by-U + remainder) with
+    // `copies` jam copies per statement slot, at indent `lvl`.
+    auto inner_loops = [&](int64_t copies, int lvl) {
+        std::ostringstream s;
+        s << "long q" << u << ";\n"
+          << "for (q" << u << " = " << lo[u] << "L; q" << u << " + "
+          << unroll - 1 << "L <= " << hi[u] << "L; q" << u
+          << " += " << unroll << "L) {\n";
+        for (int64_t b = 0; b < unroll; ++b)
+            for (int64_t a = 0; a < copies; ++a)
+                s << indented(stmt(a, b), 1);
+        s << "}\n"
+          << "for (; q" << u << " <= " << hi[u] << "L; ++q" << u
+          << ") {\n";
+        for (int64_t a = 0; a < copies; ++a)
+            s << indented(stmt(a, 0), 1);
+        s << "}\n";
+        c << indented(s.str(), lvl);
+    };
+
+    if (d == 1) {
+        inner_loops(1, 1);
+        return;
+    }
+
+    // Outer dims 0..d-3 stay plain lexicographic loops.
+    for (size_t k = 0; k < j; ++k)
+        c << std::string(4 * (k + 1), ' ') << "for (long q" << k
+          << " = " << lo[k] << "L; q" << k << " <= " << hi[k]
+          << "L; ++q" << k << ") {\n";
+    int lvl = static_cast<int>(j) + 1;
+
+    std::ostringstream jl;
+    jl << "long q" << j << ";\n"
+       << "for (q" << j << " = " << lo[j] << "L; q" << j << " + "
+       << jam - 1 << "L <= " << hi[j] << "L; q" << j << " += " << jam
+       << "L) {\n";
+    c << indented(jl.str(), lvl);
+    inner_loops(jam, lvl + 1);
+    c << std::string(4 * static_cast<size_t>(lvl), ' ') << "}\n";
+
+    std::ostringstream rl;
+    rl << "for (; q" << j << " <= " << hi[j] << "L; ++q" << j
+       << ") {\n";
+    c << indented(rl.str(), lvl);
+    inner_loops(1, lvl + 1);
+    c << std::string(4 * static_cast<size_t>(lvl), ' ') << "}\n";
+
+    for (size_t k = j; k-- > 0;)
+        c << std::string(4 * (k + 1), ' ') << "}\n";
+}
+
 } // namespace
+
+int64_t
+outputCellCount(const LoopNest &nest)
+{
+    int64_t out_cells = 1;
+    for (size_t c = 1; c < nest.depth(); ++c)
+        out_cells *= nest.hi()[c] - nest.lo()[c] + 1;
+    return out_cells;
+}
+
+std::vector<double>
+interpretKernel(const LoopNest &nest)
+{
+    DependenceInfo deps = analyzeDependences(nest, 0);
+    const IVec &lo = nest.lo();
+    const IVec &hi = nest.hi();
+    size_t d = nest.depth();
+    ExpandedArray<double> vals(lo, hi);
+    auto bval = [&](const IVec &p) {
+        int64_t acc = 1;
+        for (size_t c = 0; c < p.dim(); ++c)
+            acc += kBvalWeights[c] * p[c];
+        return static_cast<double>(acc);
+    };
+    // Lexicographic sweep via odometer.
+    IVec q = lo;
+    for (;;) {
+        double v = 0.0;
+        for (size_t k = 0; k < deps.reads.size(); ++k) {
+            IVec p = q - deps.reads[k].distance;
+            double in = vals.inBounds(p) ? vals.at(p) : bval(p);
+            v += static_cast<double>(k + 1) * in;
+        }
+        v = 0.5 * v;
+        for (size_t c = 0; c < d; ++c)
+            v += (static_cast<double>(c + 1) / 1000.0) *
+                 static_cast<double>(q[c]);
+        vals.at(q) = v;
+
+        size_t c = d;
+        bool done = false;
+        while (c-- > 0) {
+            if (q[c] < hi[c]) {
+                ++q[c];
+                break;
+            }
+            q[c] = lo[c];
+            if (c == 0)
+                done = true;
+        }
+        if (done)
+            break;
+    }
+
+    // Final q0-hyperplane, row-major over dims 1..d-1.
+    std::vector<double> out;
+    if (d == 1) {
+        out.push_back(vals.at(hi));
+        return out;
+    }
+    IVec p = lo;
+    p[0] = hi[0];
+    for (;;) {
+        out.push_back(vals.at(p));
+        size_t c = d;
+        bool done = false;
+        while (c-- > 1) {
+            if (p[c] < hi[c]) {
+                ++p[c];
+                break;
+            }
+            p[c] = lo[c];
+            if (c == 1)
+                done = true;
+        }
+        if (done)
+            break;
+    }
+    return out;
+}
 
 GeneratedCode
 generateC(const LoopNest &nest, const MappingPlan &plan,
@@ -67,6 +320,49 @@ generateC(const LoopNest &nest, const MappingPlan &plan,
                 "(the paper's Section 4 setting); use Lexicographic "
                 "for other depths");
     UOV_REQUIRE(nest.statements().size() >= 1, "empty nest");
+    UOV_REQUIRE(validIdentifier(options.function_name),
+                "function_name '" << options.function_name
+                                  << "' is not a valid C identifier");
+
+    // Validate the options against the schedule up front: silently
+    // ignoring a knob (tile_sizes under Lexicographic) hides bugs in
+    // the caller's sweep scripts.
+    if (options.schedule == GenSchedule::SkewedTiled) {
+        UOV_REQUIRE(options.tile_sizes.size() == 2,
+                    "SkewedTiled needs exactly two tile sizes, got "
+                        << options.tile_sizes.size());
+        UOV_REQUIRE(options.tile_sizes[0] >= 1 &&
+                        options.tile_sizes[1] >= 1,
+                    "tile sizes must be >= 1, got {"
+                        << options.tile_sizes[0] << ", "
+                        << options.tile_sizes[1] << "}");
+    } else {
+        UOV_REQUIRE(options.tile_sizes.empty(),
+                    "tile_sizes is only meaningful for the "
+                    "SkewedTiled schedule; the "
+                        << scheduleName(options.schedule)
+                        << " schedule would silently ignore the "
+                        << options.tile_sizes.size()
+                        << " size(s) given");
+    }
+    if (options.schedule == GenSchedule::RegisterTiled) {
+        UOV_REQUIRE(options.unroll >= 0 && options.unroll <= 64,
+                    "unroll factor must be in [0, 64], got "
+                        << options.unroll);
+        UOV_REQUIRE(options.jam >= 0 && options.jam <= 64,
+                    "jam factor must be in [0, 64], got "
+                        << options.jam);
+        UOV_REQUIRE(d >= 2 || options.jam <= 1,
+                    "a 1-D nest has no second-innermost loop to jam "
+                    "(jam=" << options.jam << ")");
+    } else {
+        UOV_REQUIRE(options.unroll == 0 && options.jam == 0,
+                    "unroll/jam are only meaningful for the "
+                    "RegisterTiled schedule; the "
+                        << scheduleName(options.schedule)
+                        << " schedule would silently ignore them");
+    }
+
     const Statement &stmt = nest.statement(0);
 
     DependenceInfo deps = analyzeDependences(nest, 0);
@@ -82,6 +378,40 @@ generateC(const LoopNest &nest, const MappingPlan &plan,
     const IVec &hi = nest.hi();
     const StorageMapping &sm = plan.mapping;
 
+    // The output convention reads the final q0-hyperplane after the
+    // sweep.  Under OV-mapped storage that plane survives only when
+    // the OV advances dimension 0: cells recur along q + Z*ov, so an
+    // ov with ov[0] == 0 lets a later iteration in the same plane
+    // overwrite a result before the copy-out runs.
+    UOV_REQUIRE(options.storage != GenStorage::OvMapped ||
+                    sm.ov()[0] >= 1,
+                "OV-mapped codegen requires an occupancy vector that "
+                "advances dimension 0 (the output hyperplane); ov "
+                    << sm.ov().str()
+                    << " would let in-plane iterations clobber the "
+                       "output");
+
+    // Register-tiling factors: explicit when given, otherwise from
+    // the cost model fed by the mapping's live-cell count.  An
+    // explicit jam must be legal; the model only proposes legal ones.
+    int64_t unroll = 1, jam = 1;
+    if (options.schedule == GenSchedule::RegisterTiled) {
+        std::vector<IVec> dists;
+        for (const auto &rd : deps.reads)
+            dists.push_back(rd.distance);
+        RegisterPlan rp = pickRegisterPlan(dists, d, 16,
+                                           sm.cellCount());
+        unroll = options.unroll > 0 ? options.unroll : rp.unroll;
+        jam = options.jam > 0 ? options.jam : rp.jam;
+        if (d >= 2 && options.jam > 0)
+            UOV_REQUIRE(jamLegal(dists, d - 2, jam),
+                        "jam factor " << jam
+                            << " reorders a dependence of "
+                            << plan.stencil.str()
+                            << "; pick a smaller factor or let the "
+                               "cost model choose");
+    }
+
     int64_t cells;
     if (options.storage == GenStorage::OvMapped) {
         cells = sm.cellCount();
@@ -93,19 +423,17 @@ generateC(const LoopNest &nest, const MappingPlan &plan,
 
     // Output: the final hyperplane of dimension 0, linearized
     // row-major over dimensions 1..d-1 (a scalar when d == 1).
-    int64_t out_cells = 1;
-    for (size_t c = 1; c < d; ++c)
-        out_cells *= hi[c] - lo[c] + 1;
+    int64_t out_cells = outputCellCount(nest);
 
     std::ostringstream c;
     c << "/* Generated by uov::generateC -- "
       << (options.storage == GenStorage::OvMapped
               ? "OV-mapped storage, "
               : "expanded storage, ")
-      << (options.schedule == GenSchedule::Lexicographic
-              ? "lexicographic schedule"
-              : "skewed-tiled schedule")
-      << ".\n"
+      << scheduleName(options.schedule) << " schedule";
+    if (options.schedule == GenSchedule::RegisterTiled)
+        c << " (unroll=" << unroll << ", jam=" << jam << ")";
+    c << ".\n"
       << " * nest: " << nest.str() << "\n"
       << " * stencil: " << plan.stencil.str() << ", uov: "
       << plan.search.best_uov.str() << "\n"
@@ -168,47 +496,10 @@ generateC(const LoopNest &nest, const MappingPlan &plan,
           << " <= " << hi[k] << "L";
     }
     {
-        std::vector<std::string> qs;
-        for (size_t k = 0; k < d; ++k)
-            qs.push_back("q" + std::to_string(k));
+        std::vector<std::string> qs = plainVars(d);
         c << ")\n        return TMP[sm(" << callArgs(d, qs)
           << ")];\n    return bval(" << callArgs(d, qs) << ");\n}\n\n";
     }
-
-    // The loop body: a fixed, order-sensitive combination of the
-    // producer values (mirrored by the reference in the tests).
-    std::ostringstream body;
-    body << "double v = 0.0;\n";
-    for (size_t k = 0; k < deps.reads.size(); ++k) {
-        const IVec &dist = deps.reads[k].distance;
-        std::vector<std::string> args;
-        for (size_t cdim = 0; cdim < d; ++cdim) {
-            args.push_back("q" + std::to_string(cdim) + " - " +
-                           std::to_string(dist[cdim]) + "L");
-        }
-        body << "v += " << (k + 1) << ".0 * val("
-             << callArgs(d, args) << ");\n";
-    }
-    body << "v = 0.5*v";
-    for (size_t k = 0; k < d; ++k)
-        body << " + 0.00" << k + 1 << "*(double)q" << k;
-    body << ";\n";
-    {
-        std::vector<std::string> qs;
-        for (size_t k = 0; k < d; ++k)
-            qs.push_back("q" + std::to_string(k));
-        body << "TMP[sm(" << callArgs(d, qs) << ")] = v;\n";
-    }
-
-    auto indent_body = [&](int levels) {
-        std::string pad(static_cast<size_t>(4 * levels), ' ');
-        std::istringstream in(body.str());
-        std::ostringstream out;
-        std::string line;
-        while (std::getline(in, line))
-            out << pad << line << "\n";
-        return out.str();
-    };
 
     c << "void " << options.function_name << "(double *output)\n{\n";
 
@@ -218,17 +509,17 @@ generateC(const LoopNest &nest, const MappingPlan &plan,
               << " = " << lo[k] << "L; q" << k << " <= " << hi[k]
               << "L; ++q" << k << ") {\n";
         }
-        c << indent_body(static_cast<int>(d) + 1);
+        c << indented(emitStatement(deps, d, plainVars(d)),
+                      static_cast<int>(d) + 1);
         for (size_t k = d; k-- > 0;)
             c << std::string(4 * (k + 1), ' ') << "}\n";
+    } else if (options.schedule == GenSchedule::RegisterTiled) {
+        emitRegisterTiled(c, deps, d, lo, hi, jam, unroll);
     } else {
         IMatrix skew = skewToNonNegative(plan.stencil);
         int64_t f = skew(1, 0);
-        UOV_REQUIRE(options.tile_sizes.size() == 2,
-                    "SkewedTiled needs two tile sizes");
         int64_t ts0 = options.tile_sizes[0];
         int64_t ts1 = options.tile_sizes[1];
-        UOV_REQUIRE(ts0 >= 1 && ts1 >= 1, "tile sizes must be >= 1");
         int64_t y1_lo = f * lo[0] + lo[1];
         int64_t y1_hi = f * hi[0] + hi[1];
         c << "    /* skew y1 = " << f << "*q0 + q1; rectangular tiles "
@@ -248,7 +539,7 @@ generateC(const LoopNest &nest, const MappingPlan &plan,
           << ts1 - 1 << "L;\n"
           << "                for (long y1 = y1a; y1 <= y1b; ++y1) {\n"
           << "                    long q1 = y1 - " << f << "L*q0;\n"
-          << indent_body(5)
+          << indented(emitStatement(deps, d, plainVars(d)), 5)
           << "                }\n"
           << "            }\n"
           << "        }\n    }\n";
@@ -261,7 +552,7 @@ generateC(const LoopNest &nest, const MappingPlan &plan,
         std::vector<std::string> qs;
         qs.push_back(std::to_string(hi[0]) + "L");
         for (size_t k = 1; k < d; ++k)
-            qs.push_back("q" + std::to_string(k));
+            qs.push_back(qvar(k));
         for (size_t k = 1; k < d; ++k) {
             c << std::string(4 * k, ' ') << "for (long q" << k << " = "
               << lo[k] << "L; q" << k << " <= " << hi[k] << "L; ++q"
@@ -288,6 +579,8 @@ generateC(const LoopNest &nest, const MappingPlan &plan,
     out.source = c.str();
     out.function_name = options.function_name;
     out.temp_cells = cells;
+    out.unroll = unroll;
+    out.jam = jam;
     return out;
 }
 
@@ -295,6 +588,10 @@ std::string
 compileToSharedObject(const GeneratedCode &code,
                       const std::string &work_dir)
 {
+    std::string compiler = JitCompiler::findHostCompiler();
+    UOV_REQUIRE(!compiler.empty(),
+                "no host C compiler found (set UOV_CC or put cc, "
+                "gcc, or clang on PATH)");
     std::string base = work_dir + "/" + code.function_name;
     std::string c_path = base + ".c";
     std::string so_path = base + ".so";
@@ -303,11 +600,8 @@ compileToSharedObject(const GeneratedCode &code,
         UOV_REQUIRE(f.good(), "cannot write " << c_path);
         f << code.source;
     }
-    std::string cmd = "cc -O2 -shared -fPIC -o '" + so_path + "' '" +
-                      c_path + "' 2> '" + base + ".log'";
-    int rc = std::system(cmd.c_str());
-    UOV_REQUIRE(rc == 0, "C compilation failed (rc=" << rc
-                             << "); see " << base << ".log");
+    jit_detail::runHostCompiler(compiler, {"-O2", "-ffp-contract=off"},
+                                c_path, so_path);
     UOV_LOG_INFO("compiled " << so_path);
     return so_path;
 }

@@ -7,16 +7,19 @@
  * Given a loop nest, a mapping plan, and a schedule choice, emits a
  * self-contained C function:
  *
- *   void kernel(const double *input, double *output);
+ *   void kernel(double *output);
  *
  * with the temporary array declared at exactly
  * plan.mapping.cellCount() elements and every access routed through
  * SM(q) = mv.q + shift + modterm.  Supported schedules: the original
- * lexicographic order (1- to 6-D nests) and rectangular tiling of a
- * skewed space (2-D, Section 2's tiling).  The generated text is
- * deterministic; the integration tests compile it with the host C
- * compiler, load it with dlopen, and compare against a bit-exact
- * C++ reference.
+ * lexicographic order (1- to 6-D nests), rectangular tiling of a
+ * skewed space (2-D, Section 2's tiling), and a register-tiled
+ * variant (innermost unroll + second-innermost unroll-and-jam with
+ * factors picked by the regcost model, legality-checked against the
+ * dependence distances).  The generated text is deterministic; the
+ * integration tests and the codegen fuzz oracle compile it through
+ * the JIT pipeline (codegen/jit.h) and compare bit-exactly against
+ * interpretKernel, the C++ interpreter oracle.
  */
 
 #ifndef UOV_CODEGEN_CODEGEN_H
@@ -37,6 +40,7 @@ enum class GenSchedule
 {
     Lexicographic, ///< original program order
     SkewedTiled,   ///< rectangular tiles of the skewed space
+    RegisterTiled, ///< unroll-and-jam in program order (regcost.h)
 };
 
 /** Storage discipline of the generated temporary array. */
@@ -46,12 +50,21 @@ enum class GenStorage
     OvMapped, ///< plan.mapping's cells
 };
 
-/** Code-generation parameters. */
+/**
+ * Code-generation parameters.
+ *
+ * Options are validated up front: tile_sizes is meaningful only for
+ * SkewedTiled (exactly two sizes >= 1) and must be empty otherwise;
+ * unroll/jam are meaningful only for RegisterTiled, where 0 asks the
+ * regcost model to pick and an explicit jam must pass jamLegal.
+ */
 struct CodegenOptions
 {
     GenSchedule schedule = GenSchedule::Lexicographic;
     GenStorage storage = GenStorage::OvMapped;
-    std::vector<int64_t> tile_sizes; ///< required for SkewedTiled
+    std::vector<int64_t> tile_sizes; ///< SkewedTiled only: two sizes
+    int64_t unroll = 0; ///< RegisterTiled innermost factor (0 = auto)
+    int64_t jam = 0;    ///< RegisterTiled jam factor (0 = auto)
     std::string function_name = "uov_kernel";
 };
 
@@ -61,15 +74,17 @@ struct GeneratedCode
     std::string source;        ///< complete C translation unit
     std::string function_name; ///< exported symbol
     int64_t temp_cells;        ///< temporary array size in elements
+    int64_t unroll = 1;        ///< innermost unroll actually emitted
+    int64_t jam = 1;           ///< jam factor actually emitted
 };
 
 /**
  * Generate C for @p nest's statement 0 with @p plan's storage mapping.
  *
  * The emitted function signature is
- *   void <name>(const double *input, double *output);
- * where input supplies boundary values indexed by a canned convention
- * (see the generated comment) and output receives one value per
+ *   void <name>(double *output);
+ * where boundary values follow the canned bval() convention (see the
+ * generated comment) and output receives one value per
  * iteration-space point on the final hyperplane of dimension 0.
  *
  * @pre the nest is 1- to 6-D with a single statement whose reads all
@@ -80,9 +95,26 @@ GeneratedCode generateC(const LoopNest &nest, const MappingPlan &plan,
                         const CodegenOptions &options = {});
 
 /**
+ * The interpreter oracle: run @p nest's statement-0 computation (the
+ * exact double-precision recurrence generateC emits) under the
+ * original lexicographic order with fully expanded storage, and
+ * return the final q0-hyperplane row-major over dimensions 1..d-1.
+ * Generated kernels of every (schedule, storage) combination must
+ * reproduce this vector bit-for-bit; the codegen fuzz oracle and the
+ * test matrix both compare against it.
+ */
+std::vector<double> interpretKernel(const LoopNest &nest);
+
+/** Elements in the output row (1 when the nest is 1-D). */
+int64_t outputCellCount(const LoopNest &nest);
+
+/**
  * Helper for tests/examples: compile @p code with the host C compiler
  * into a shared object under @p work_dir and return the .so path.
+ * Unlike JitCompiler this never caches: the output lands at
+ * <work_dir>/<function_name>.so unconditionally.
  * @throws UovError when no compiler is available or compilation fails
+ *         (the message carries the compiler's stderr)
  */
 std::string compileToSharedObject(const GeneratedCode &code,
                                   const std::string &work_dir);

@@ -1,0 +1,256 @@
+#include "codegen/jit.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/codegen.h"
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace uov {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** True when @p path names an executable regular file. */
+bool
+isExecutable(const fs::path &path)
+{
+    std::error_code ec;
+    if (!fs::is_regular_file(path, ec))
+        return false;
+    return ::access(path.c_str(), X_OK) == 0;
+}
+
+/** Resolve @p name against PATH ("" when absent). */
+std::string
+searchPath(const std::string &name)
+{
+    if (name.find('/') != std::string::npos)
+        return isExecutable(name) ? name : "";
+    const char *path = std::getenv("PATH");
+    if (path == nullptr)
+        return "";
+    std::stringstream ss(path);
+    std::string dir;
+    while (std::getline(ss, dir, ':')) {
+        if (dir.empty())
+            continue;
+        fs::path candidate = fs::path(dir) / name;
+        if (isExecutable(candidate))
+            return candidate.string();
+    }
+    return "";
+}
+
+/** FNV-1a 64-bit over a byte string. */
+uint64_t
+fnv1a(uint64_t h, const std::string &bytes)
+{
+    for (unsigned char b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ULL;
+    }
+    // Separate fields so {"ab","c"} and {"a","bc"} hash apart.
+    h ^= 0xff;
+    h *= 0x100000001b3ULL;
+    return h;
+}
+
+/** Read a whole file ("" when unreadable). */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+} // namespace
+
+void
+jit_detail::runHostCompiler(const std::string &compiler,
+                            const std::vector<std::string> &flags,
+                            const std::string &c_path,
+                            const std::string &so_path)
+{
+    std::string log_path = so_path + ".log";
+    std::ostringstream cmd;
+    cmd << "'" << compiler << "'";
+    for (const auto &f : flags)
+        cmd << " " << f;
+    cmd << " -shared -fPIC -o '" << so_path << "' '" << c_path
+        << "' 2> '" << log_path << "'";
+    int rc = std::system(cmd.str().c_str());
+    if (rc != 0) {
+        std::string stderr_text = slurp(log_path);
+        std::error_code ec;
+        fs::remove(so_path, ec);
+        throw UovError("JIT compilation failed (rc=" +
+                       std::to_string(rc) + "): " + cmd.str() +
+                       "\ncompiler stderr:\n" + stderr_text);
+    }
+    std::error_code ec;
+    fs::remove(log_path, ec);
+}
+
+JitKernel::~JitKernel()
+{
+    if (_handle != nullptr)
+        ::dlclose(_handle);
+}
+
+JitKernel::JitKernel(JitKernel &&other) noexcept
+    : _handle(other._handle), _path(std::move(other._path))
+{
+    other._handle = nullptr;
+}
+
+JitKernel &
+JitKernel::operator=(JitKernel &&other) noexcept
+{
+    if (this != &other) {
+        if (_handle != nullptr)
+            ::dlclose(_handle);
+        _handle = other._handle;
+        _path = std::move(other._path);
+        other._handle = nullptr;
+    }
+    return *this;
+}
+
+void *
+JitKernel::sym(const std::string &name) const
+{
+    UOV_REQUIRE(_handle != nullptr,
+                "JitKernel::sym('" << name
+                                   << "'): no shared object loaded");
+    ::dlerror(); // clear
+    void *addr = ::dlsym(_handle, name.c_str());
+    if (addr == nullptr) {
+        const char *err = ::dlerror();
+        throw UovError("dlsym('" + name + "') failed in " + _path +
+                       ": " + (err ? err : "symbol is null"));
+    }
+    return addr;
+}
+
+JitCompiler::JitCompiler(JitOptions options)
+    : _flags(std::move(options.flags))
+{
+    _compiler = options.compiler.empty()
+                    ? findHostCompiler()
+                    : searchPath(options.compiler);
+    if (options.cache_dir.empty()) {
+        _cache_dir = (fs::temp_directory_path() /
+                      ("uov-jit-cache-" +
+                       std::to_string(static_cast<long>(::getuid()))))
+                         .string();
+    } else {
+        _cache_dir = options.cache_dir;
+    }
+}
+
+std::string
+JitCompiler::findHostCompiler()
+{
+    if (const char *env = std::getenv("UOV_CC")) {
+        std::string found = searchPath(env);
+        if (!found.empty())
+            return found;
+    }
+    for (const char *candidate : {"cc", "gcc", "clang"}) {
+        std::string found = searchPath(candidate);
+        if (!found.empty())
+            return found;
+    }
+    return "";
+}
+
+bool
+JitCompiler::hostCompilerAvailable()
+{
+    return !findHostCompiler().empty();
+}
+
+std::string
+JitCompiler::cacheKey(const std::string &source) const
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    h = fnv1a(h, _compiler);
+    for (const auto &f : _flags)
+        h = fnv1a(h, f);
+    h = fnv1a(h, source);
+    std::ostringstream oss;
+    oss << std::hex << h;
+    return oss.str();
+}
+
+std::string
+JitCompiler::compile(const std::string &source)
+{
+    UOV_REQUIRE(available(),
+                "no host C compiler found (set UOV_CC or put cc, "
+                "gcc, or clang on PATH)");
+    fs::create_directories(_cache_dir);
+
+    std::string key = cacheKey(source);
+    std::string so_path =
+        (fs::path(_cache_dir) / ("uovjit-" + key + ".so")).string();
+    std::error_code ec;
+    if (fs::exists(so_path, ec)) {
+        ++_cache_hits;
+        return so_path;
+    }
+
+    std::string c_path =
+        (fs::path(_cache_dir) / ("uovjit-" + key + ".c")).string();
+    {
+        std::ofstream f(c_path);
+        UOV_REQUIRE(f.good(), "cannot write " << c_path);
+        f << source;
+    }
+
+    // Compile to a process-unique name, then publish atomically: a
+    // concurrent process either misses (and compiles its own copy) or
+    // sees a complete .so, never a torn one.
+    std::string tmp_path =
+        so_path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    ++_compiles;
+    jit_detail::runHostCompiler(_compiler, _flags, c_path, tmp_path);
+    fs::rename(tmp_path, so_path, ec);
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        UOV_REQUIRE(fs::exists(so_path),
+                    "cannot publish " << so_path);
+    }
+    UOV_LOG_INFO("jit: compiled " << so_path);
+    return so_path;
+}
+
+JitKernel
+JitCompiler::load(const std::string &so_path) const
+{
+    void *handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (handle == nullptr) {
+        const char *err = ::dlerror();
+        throw UovError("dlopen('" + so_path +
+                       "') failed: " + (err ? err : "unknown error"));
+    }
+    return JitKernel(handle, so_path);
+}
+
+JitKernel
+JitCompiler::compileAndLoad(const GeneratedCode &code)
+{
+    return load(compile(code.source));
+}
+
+} // namespace uov

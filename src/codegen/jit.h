@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Compile-and-dlopen JIT pipeline for generated kernels.
+ *
+ * JitCompiler shells out to a host C compiler (UOV_CC, then cc / gcc /
+ * clang on PATH) with -O2 -march=native, caches the shared objects it
+ * produces under a content hash of (compiler, flags, source) so
+ * identical source is never compiled twice, and loads kernels through
+ * dlopen/dlsym wrapped in the RAII JitKernel (dlclose on destruction).
+ *
+ * -ffp-contract=off is part of the default flags on purpose: the
+ * differential oracle compares JIT output bit-exactly against the
+ * C++ interpreter, and FMA contraction under -march=native would
+ * change the rounding of the generated a*b+c chains.
+ *
+ * Everything degrades loudly but gracefully: a missing compiler is
+ * detectable up front (available() / hostCompilerAvailable()), and a
+ * failed compile throws a UovError carrying the compiler's stderr.
+ */
+
+#ifndef UOV_CODEGEN_JIT_H
+#define UOV_CODEGEN_JIT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uov {
+
+struct GeneratedCode;
+
+namespace jit_detail {
+
+/**
+ * Run @p compiler on @p c_path producing the shared object
+ * @p so_path (adds -shared -fPIC).  Shared by JitCompiler and the
+ * uncached compileToSharedObject test helper.
+ * @throws UovError on failure, message carrying the command line and
+ *         the compiler's captured stderr
+ */
+void runHostCompiler(const std::string &compiler,
+                     const std::vector<std::string> &flags,
+                     const std::string &c_path,
+                     const std::string &so_path);
+
+} // namespace jit_detail
+
+/** A dlopen'ed shared object; unloads (dlclose) on destruction. */
+class JitKernel
+{
+  public:
+    JitKernel() = default;
+    ~JitKernel();
+
+    JitKernel(JitKernel &&other) noexcept;
+    JitKernel &operator=(JitKernel &&other) noexcept;
+    JitKernel(const JitKernel &) = delete;
+    JitKernel &operator=(const JitKernel &) = delete;
+
+    /** True when a shared object is loaded. */
+    explicit operator bool() const { return _handle != nullptr; }
+
+    /** Path of the loaded .so. */
+    const std::string &path() const { return _path; }
+
+    /**
+     * Resolve @p name.  @throws UovError when nothing is loaded or
+     * the symbol is missing (message carries dlerror()).
+     */
+    void *sym(const std::string &name) const;
+
+    /** Typed convenience: kernel.fn<void (*)(double *)>("f"). */
+    template <typename Fn>
+    Fn
+    fn(const std::string &name) const
+    {
+        return reinterpret_cast<Fn>(sym(name));
+    }
+
+  private:
+    friend class JitCompiler;
+    JitKernel(void *handle, std::string path)
+        : _handle(handle), _path(std::move(path))
+    {}
+
+    void *_handle = nullptr;
+    std::string _path;
+};
+
+/** JitCompiler configuration. */
+struct JitOptions
+{
+    /** Compiler executable; empty auto-detects (UOV_CC, cc, gcc,
+     *  clang -- first found on PATH). */
+    std::string compiler;
+    /** Optimization / codegen flags (the cache key includes them). */
+    std::vector<std::string> flags = {"-O2", "-march=native",
+                                      "-ffp-contract=off"};
+    /** Shared-object cache directory; empty uses
+     *  <tmp>/uov-jit-cache-<uid>. */
+    std::string cache_dir;
+};
+
+/**
+ * Shells out to the host C compiler and caches the results.
+ *
+ * Cache keying: FNV-1a over compiler path, flags, and full source
+ * text; a hit returns the existing .so without invoking the compiler
+ * (observable through cacheHits() / compilesInvoked(), which the
+ * negative-path tests assert).  Compiles land in the cache atomically
+ * (write to a process-unique temp name, then rename), so concurrent
+ * processes sharing a cache directory never load a half-written .so.
+ */
+class JitCompiler
+{
+  public:
+    explicit JitCompiler(JitOptions options = {});
+
+    /** Detected compiler path ("" when none was found). */
+    const std::string &compiler() const { return _compiler; }
+
+    /** True when a compiler is available to this instance. */
+    bool available() const { return !_compiler.empty(); }
+
+    /** Probe the default candidates (for skip-not-fail guards). */
+    static bool hostCompilerAvailable();
+
+    /** First of $UOV_CC, cc, gcc, clang found on PATH ("" if none). */
+    static std::string findHostCompiler();
+
+    /** Content-hash cache key of @p source under this configuration. */
+    std::string cacheKey(const std::string &source) const;
+
+    /**
+     * Compile @p source to a shared object; returns its path.
+     * @throws UovUserError when no compiler is available
+     * @throws UovError on compile failure (message carries stderr)
+     */
+    std::string compile(const std::string &source);
+
+    /** dlopen @p so_path. @throws UovError with dlerror() on failure */
+    JitKernel load(const std::string &so_path) const;
+
+    /** compile() + load() for a generated compilation unit. */
+    JitKernel compileAndLoad(const GeneratedCode &code);
+
+    /** Compiler invocations this instance has performed. */
+    uint64_t compilesInvoked() const { return _compiles; }
+
+    /** compile() calls satisfied from the shared-object cache. */
+    uint64_t cacheHits() const { return _cache_hits; }
+
+    const std::string &cacheDir() const { return _cache_dir; }
+
+  private:
+    std::string _compiler;
+    std::vector<std::string> _flags;
+    std::string _cache_dir;
+    uint64_t _compiles = 0;
+    uint64_t _cache_hits = 0;
+};
+
+} // namespace uov
+
+#endif // UOV_CODEGEN_JIT_H

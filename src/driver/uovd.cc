@@ -11,6 +11,15 @@
  *   $ echo 'query shortest deps [1,0] [0,1] [1,1]' | ./uovd
  *   answer 1 best=(1, 1) value=2 initial=4 canon=3 cert=...
  *
+ *   $ echo 'query native bounds 0..17 0..99 deps [1,-1] [1,0] [1,1]' \
+ *       | ./uovd
+ *   answer 1 native uov=(2, 0) cells=... interp_ns=... lex_ns=...
+ *
+ * 'query native' JIT-compiles the OV-mapped kernel with the host C
+ * compiler, verifies it bit-exactly against the interpreter, and
+ * reports interpreter-vs-native timings; timing fields are wall-clock
+ * and exempt from the byte-determinism contract.
+ *
  *   $ ./uovd --input queries.txt --threads 8 --metrics
  *   $ ./uovd --nest examples/corpus/stencil5.nest
  *

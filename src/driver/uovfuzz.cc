@@ -43,7 +43,7 @@ usage()
         "(default 1)\n"
         "  --iters N       random cases to run (default 100)\n"
         "  --oracle NAME   membership|search|mapping|streaming|"
-        "service|fault\n"
+        "service|fault|codegen\n"
         "                  (default: all)\n"
         "  --shrink        minimize failing cases (default)\n"
         "  --no-shrink     report failures unminimized\n"
@@ -145,7 +145,8 @@ main(int argc, char **argv)
             } else {
                 kinds = {OracleKind::Membership, OracleKind::Search,
                          OracleKind::Mapping, OracleKind::Streaming,
-                         OracleKind::Service, OracleKind::Fault};
+                         OracleKind::Service, OracleKind::Fault,
+                         OracleKind::Codegen};
             }
             for (OracleKind k : kinds) {
                 auto v = runOracle(k, c);

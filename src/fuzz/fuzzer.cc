@@ -26,6 +26,8 @@ oracleName(OracleKind kind)
         return "service";
       case OracleKind::Fault:
         return "fault";
+      case OracleKind::Codegen:
+        return "codegen";
     }
     UOV_UNREACHABLE("bad oracle kind");
 }
@@ -36,7 +38,8 @@ parseOracleName(const std::string &name)
     for (OracleKind k :
          {OracleKind::Membership, OracleKind::Search,
           OracleKind::Mapping, OracleKind::Streaming,
-          OracleKind::Service, OracleKind::Fault}) {
+          OracleKind::Service, OracleKind::Fault,
+          OracleKind::Codegen}) {
         if (name == oracleName(k))
             return k;
     }
@@ -60,6 +63,8 @@ runOracle(OracleKind kind, const FuzzCase &c)
             return checkService(c);
           case OracleKind::Fault:
             return checkFault(c);
+          case OracleKind::Codegen:
+            return checkCodegen(c);
         }
         UOV_UNREACHABLE("bad oracle kind");
     } catch (const UovError &e) {
@@ -82,7 +87,7 @@ namespace {
 /** The stencil-shaped oracles a corpus nest exercises. */
 constexpr OracleKind kCorpusOracles[] = {
     OracleKind::Membership, OracleKind::Search, OracleKind::Mapping,
-    OracleKind::Service};
+    OracleKind::Service, OracleKind::Codegen};
 
 void
 recordFailure(FuzzReport &report, const FuzzOptions &opt,

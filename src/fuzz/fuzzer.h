@@ -1,7 +1,7 @@
 /**
  * @file
  * The differential fuzzing harness: corpus replay + seeded random
- * sweep over the six oracle families, with automatic shrinking of
+ * sweep over the seven oracle families, with automatic shrinking of
  * anything that fails.
  *
  * One harness serves three masters: the uovfuzz CLI (soak runs and
@@ -27,7 +27,7 @@
 namespace uov {
 namespace fuzz {
 
-/** The six differential oracle families. */
+/** The seven differential oracle families. */
 enum class OracleKind
 {
     Membership, ///< isUov vs DONE/DEAD vs brute force vs certificates
@@ -36,15 +36,16 @@ enum class OracleKind
     Streaming,  ///< fused simulation vs record-then-replay vs direct
     Service,    ///< concurrent cached QueryService vs direct search
     Fault,      ///< batches under fail points and random deadlines
+    Codegen,    ///< JIT-compiled kernels vs the interpreter oracle
 };
 
 /** Number of OracleKind values (the random sweep cycles them all). */
-constexpr size_t kOracleKindCount = 6;
+constexpr size_t kOracleKindCount = 7;
 
 const char *oracleName(OracleKind kind);
 
 /** Parse "membership" | "search" | "mapping" | "streaming" |
- *  "service" | "fault". */
+ *  "service" | "fault" | "codegen". */
 std::optional<OracleKind> parseOracleName(const std::string &name);
 
 /** Harness configuration. */
@@ -52,7 +53,7 @@ struct FuzzOptions
 {
     uint64_t seed = 1;
     uint64_t iters = 100;
-    /** Restrict to one oracle; nullopt cycles through all six. */
+    /** Restrict to one oracle; nullopt cycles through all seven. */
     std::optional<OracleKind> only;
     bool shrink = true;
     GenOptions gen;

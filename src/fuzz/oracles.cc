@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <unordered_set>
 
 #include "analysis/dependence.h"
+#include "codegen/codegen.h"
+#include "codegen/jit.h"
 #include "core/cone.h"
 #include "core/done_dead.h"
 #include "core/search.h"
@@ -910,6 +913,121 @@ checkFault(const FuzzCase &c)
         if (got[i] != direct[i])
             return "deterministic replay diverged: service '" +
                    got[i] + "' vs direct '" + direct[i] + "'";
+    return std::nullopt;
+}
+
+OracleVerdict
+checkCodegen(const FuzzCase &c)
+{
+    // Graceful skip, not failure: sanitizer CI images may lack a C
+    // compiler, and the oracle is meaningless without one.
+    if (!JitCompiler::hostCompilerAvailable())
+        return std::nullopt;
+
+    Stencil s = c.stencil();
+    size_t d = s.dim();
+
+    // Realize the case as the paper's program class: one statement
+    // whose reads sit at minus each dependence distance.  Clamp the
+    // box so interpret + compile + run stays cheap per case.
+    std::vector<int64_t> lo(d), hi(d);
+    for (size_t k = 0; k < d; ++k) {
+        lo[k] = c.lo[k];
+        hi[k] = std::min(c.hi[k], c.lo[k] + 5);
+    }
+    LoopNest nest("fuzz", IVec(std::move(lo)), IVec(std::move(hi)));
+    Statement st;
+    st.name = "F";
+    st.write = uniformAccess("F", IVec(d));
+    for (const IVec &dep : s.deps()) {
+        std::vector<int64_t> off(d);
+        for (size_t k = 0; k < d; ++k)
+            off[k] = -dep[k];
+        st.reads.push_back(uniformAccess("F", IVec(std::move(off))));
+    }
+    nest.addStatement(st);
+
+    std::optional<MappingPlan> plan;
+    try {
+        plan = planStorageMapping(nest, 0);
+    } catch (const UovUserError &) {
+        // A case shape the planning pipeline rejects is not a
+        // codegen bug; the mapping/search oracles own that surface.
+        return std::nullopt;
+    }
+
+    std::vector<double> ref = interpretKernel(nest);
+
+    // Every applicable (schedule, storage) variant, one shared JIT so
+    // repeated sources across cases hit the cache.
+    struct Variant
+    {
+        GenSchedule schedule;
+        GenStorage storage;
+        std::vector<int64_t> tiles;
+    };
+    std::vector<Variant> variants = {
+        {GenSchedule::Lexicographic, GenStorage::Expanded, {}},
+        {GenSchedule::RegisterTiled, GenStorage::Expanded, {}},
+    };
+    // OV-mapped variants only apply when the chosen OV advances
+    // dimension 0 -- otherwise the output-hyperplane convention is
+    // unsound and generateC rejects (by design, not a bug).
+    if (plan->mapping.ov()[0] >= 1) {
+        variants.push_back(
+            {GenSchedule::Lexicographic, GenStorage::OvMapped, {}});
+        variants.push_back(
+            {GenSchedule::RegisterTiled, GenStorage::OvMapped, {}});
+    }
+    // Skewed tiling needs every dependence to advance dimension 0.
+    bool skewable = d == 2;
+    for (const IVec &dep : s.deps())
+        skewable = skewable && dep[0] >= 1;
+    if (skewable) {
+        SplitMix64 rng(c.seed ^ 0xC0DE6E17ULL);
+        variants.push_back({GenSchedule::SkewedTiled,
+                            plan->mapping.ov()[0] >= 1
+                                ? GenStorage::OvMapped
+                                : GenStorage::Expanded,
+                            {rng.nextInRange(1, 6),
+                             rng.nextInRange(1, 8)}});
+    }
+
+    JitCompiler jit;
+    for (const Variant &var : variants) {
+        CodegenOptions opts;
+        opts.schedule = var.schedule;
+        opts.storage = var.storage;
+        opts.tile_sizes = var.tiles;
+        opts.function_name = "uov_fuzz_kernel";
+        GeneratedCode code = generateC(nest, *plan, opts);
+        std::string label =
+            std::string("codegen variant schedule=") +
+            std::to_string(static_cast<int>(var.schedule)) +
+            " storage=" +
+            std::to_string(static_cast<int>(var.storage)) + " over " +
+            s.str() + " box [" + nest.lo().str() + ", " +
+            nest.hi().str() + "]";
+
+        if (var.storage == GenStorage::OvMapped &&
+            code.temp_cells != plan->mapping.cellCount())
+            return label + ": temp array has " +
+                   std::to_string(code.temp_cells) +
+                   " cells, mapping.cellCount() is " +
+                   std::to_string(plan->mapping.cellCount());
+
+        JitKernel kernel = jit.compileAndLoad(code);
+        std::vector<double> got(ref.size(),
+                                std::numeric_limits<double>::quiet_NaN());
+        kernel.fn<void (*)(double *)>(code.function_name)(got.data());
+        for (size_t i = 0; i < ref.size(); ++i)
+            if (got[i] != ref[i])
+                return label + ": output[" + std::to_string(i) +
+                       "] = " + std::to_string(got[i]) +
+                       ", interpreter says " + std::to_string(ref[i]) +
+                       " (unroll=" + std::to_string(code.unroll) +
+                       ", jam=" + std::to_string(code.jam) + ")";
+    }
     return std::nullopt;
 }
 

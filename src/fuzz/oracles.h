@@ -22,6 +22,10 @@
  *    answered through the batch executor at several thread counts and
  *    cache configurations vs the single-threaded direct core/search
  *    path, responses byte-identical and cache metrics reconciled.
+ *  - Codegen: generated C kernels JIT-compiled with the host compiler
+ *    and executed, bit-exact against the C++ interpreter oracle for
+ *    every schedule x storage variant (skipped when the environment
+ *    has no C compiler).
  *
  * An oracle returns std::nullopt when every cross-check agrees, or a
  * description of the first discrepancy.  Exceptions escaping an
@@ -97,6 +101,19 @@ OracleVerdict checkFault(const FuzzCase &c);
  * input to shrink.
  */
 OracleVerdict checkStreaming(uint64_t case_seed);
+
+/**
+ * Native-codegen oracle: realize the case stencil as a
+ * single-statement nest over a clamped box, run the C++ interpreter
+ * as ground truth, then generate, JIT-compile, and execute every
+ * applicable (schedule, storage) kernel variant and compare outputs
+ * bit-exactly.  Also asserts the OV-mapped temporary is sized exactly
+ * mapping.cellCount().  Returns nullopt without checking anything
+ * when no host C compiler is on PATH (the skip is graceful by
+ * design: sanitizer CI images may lack one), or when the planning
+ * pipeline rejects the case shape (not a codegen bug).
+ */
+OracleVerdict checkCodegen(const FuzzCase &c);
 
 /**
  * Independent reference for non-negative integer cone membership:

@@ -3,9 +3,13 @@
 #include <chrono>
 #include <functional>
 #include <future>
+#include <iomanip>
 #include <istream>
+#include <limits>
 #include <sstream>
 
+#include "codegen/codegen.h"
+#include "codegen/jit.h"
 #include "support/error.h"
 #include "support/failpoint.h"
 #include "support/logging.h"
@@ -136,9 +140,11 @@ parseRequestLine(const std::string &line, size_t index,
         r.objective = SearchObjective::ShortestVector;
     } else if (tok == "storage") {
         r.objective = SearchObjective::BoundedStorage;
+    } else if (tok == "native") {
+        r.native = true;
     } else {
         return fail("bad objective '" + tok +
-                    "', expected shortest|storage");
+                    "', expected shortest|storage|native");
     }
 
     if (!(ss >> tok))
@@ -189,10 +195,15 @@ parseRequestLine(const std::string &line, size_t index,
     if (r.deps.empty())
         return fail("'deps' needs at least one vector");
 
-    if (r.objective == SearchObjective::BoundedStorage && !r.isg_lo)
+    if (r.native && !r.isg_lo)
+        return fail("native query needs 'bounds'");
+    if (!r.native && r.objective == SearchObjective::BoundedStorage &&
+        !r.isg_lo)
         return fail("storage query needs 'bounds'");
-    if (r.objective == SearchObjective::ShortestVector && r.isg_lo)
-        return fail("'bounds' is only valid for storage queries");
+    if (!r.native &&
+        r.objective == SearchObjective::ShortestVector && r.isg_lo)
+        return fail("'bounds' is only valid for storage and native "
+                    "queries");
     if (r.isg_lo && r.isg_lo->dim() != r.deps[0].dim())
         return fail("bounds rank " +
                     std::to_string(r.isg_lo->dim()) +
@@ -216,9 +227,119 @@ parseRequests(std::istream &in, int64_t default_deadline_ms)
     return requests;
 }
 
+namespace {
+
+/** Best-of-3 wall-clock nanoseconds for @p fn. */
+int64_t
+bestOfThreeNs(const std::function<void()> &fn)
+{
+    int64_t best = std::numeric_limits<int64_t>::max();
+    for (int rep = 0; rep < 3; ++rep) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      t1 - t0)
+                      .count());
+    }
+    return best < 1 ? 1 : best;
+}
+
+} // namespace
+
+std::string
+runNativeRequest(const Request &request)
+{
+    std::ostringstream oss;
+    if (!request.error.empty()) {
+        oss << "error " << request.index << " " << request.error;
+        return oss.str();
+    }
+    try {
+        Stencil stencil(request.deps);
+        UOV_REQUIRE(JitCompiler::hostCompilerAvailable(),
+                    "native query needs a host C compiler (set UOV_CC "
+                    "or put cc, gcc, or clang on PATH)");
+
+        // Realize the stencil as the paper's single-statement nest
+        // over the bounds box (reads at minus each distance).
+        size_t d = stencil.dim();
+        LoopNest nest("native", *request.isg_lo, *request.isg_hi);
+        Statement st;
+        st.name = "N";
+        st.write = uniformAccess("N", IVec(d));
+        for (const IVec &dep : stencil.deps()) {
+            std::vector<int64_t> off(d);
+            for (size_t k = 0; k < d; ++k)
+                off[k] = -dep[k];
+            st.reads.push_back(
+                uniformAccess("N", IVec(std::move(off))));
+        }
+        nest.addStatement(st);
+
+        MappingPlan plan = planStorageMapping(nest, 0);
+        GenStorage storage = plan.mapping.ov()[0] >= 1
+                                 ? GenStorage::OvMapped
+                                 : GenStorage::Expanded;
+
+        std::vector<double> ref;
+        int64_t interp_ns =
+            bestOfThreeNs([&] { ref = interpretKernel(nest); });
+
+        JitCompiler jit;
+        GeneratedCode lex_code, rtile_code;
+        {
+            CodegenOptions opts;
+            opts.storage = storage;
+            opts.function_name = "uov_native_lex";
+            lex_code = generateC(nest, plan, opts);
+            opts.schedule = GenSchedule::RegisterTiled;
+            opts.function_name = "uov_native_rtile";
+            rtile_code = generateC(nest, plan, opts);
+        }
+
+        auto timeKernel = [&](const GeneratedCode &code) {
+            JitKernel kernel = jit.compileAndLoad(code);
+            auto fn =
+                kernel.fn<void (*)(double *)>(code.function_name);
+            std::vector<double> out(ref.size(), 0.0);
+            int64_t ns = bestOfThreeNs([&] { fn(out.data()); });
+            UOV_REQUIRE(out == ref,
+                        "native kernel " << code.function_name
+                            << " diverged from the interpreter");
+            return ns;
+        };
+        int64_t lex_ns = timeKernel(lex_code);
+        int64_t rtile_ns = timeKernel(rtile_code);
+
+        oss << "answer " << request.index << " native uov="
+            << plan.mapping.ov().str()
+            << " cells=" << plan.mapping.cellCount() << " storage="
+            << (storage == GenStorage::OvMapped ? "ov" : "expanded")
+            << " unroll=" << rtile_code.unroll
+            << " jam=" << rtile_code.jam << std::fixed
+            << std::setprecision(2) << " interp_ns=" << interp_ns
+            << " lex_ns=" << lex_ns << " rtile_ns=" << rtile_ns
+            << " speedup_lex="
+            << static_cast<double>(interp_ns) /
+                   static_cast<double>(lex_ns)
+            << " speedup_rtile="
+            << static_cast<double>(interp_ns) /
+                   static_cast<double>(rtile_ns)
+            << " verified=ok";
+    } catch (const UovError &e) {
+        oss.str("");
+        oss << "error " << request.index << " " << e.what();
+    }
+    return oss.str();
+}
+
 std::string
 runRequest(QueryService &service, const Request &request)
 {
+    if (request.native)
+        return runNativeRequest(request);
     return answerRequest(request, [&](const Stencil &s) {
         return service.query(s, request.objective, request.isg_lo,
                              request.isg_hi, request.deadline_ms);
@@ -381,6 +502,10 @@ runBatchDirect(const std::vector<Request> &requests, uint64_t max_visits)
     std::vector<std::string> responses;
     responses.reserve(requests.size());
     for (const Request &r : requests) {
+        if (r.native) {
+            responses.push_back(runNativeRequest(r));
+            continue;
+        }
         responses.push_back(answerRequest(r, [&](const Stencil &s) {
             SearchBudget budget;
             budget.max_nodes = max_visits;

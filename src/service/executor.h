@@ -13,6 +13,8 @@
  *     query storage bounds 0..17 0..99 deps [1,-2] [1,-1] [1,0] [1,1] [1,2]
  *     # anytime: degrade to the best answer found within 5 ms
  *     query shortest deadline_ms 5 deps [1,-1] [1,0] [1,1]
+ *     # JIT-compile the mapped kernel and time it vs the interpreter
+ *     query native bounds 0..17 0..99 deps [1,-1] [1,0] [1,1]
  *
  * Responses are written strictly in request order, one line each:
  *
@@ -54,6 +56,7 @@ struct Request
     std::string error;      ///< nonempty: parse failed, text to echo
     std::vector<IVec> deps; ///< as presented (not yet canonical)
     SearchObjective objective = SearchObjective::ShortestVector;
+    bool native = false;    ///< 'query native': JIT timing request
     std::optional<IVec> isg_lo;
     std::optional<IVec> isg_hi;
     int64_t deadline_ms = -1; ///< wall-clock budget; -1 = unbounded
@@ -124,6 +127,24 @@ class Watchdog
  * errors propagate.
  */
 std::string runRequest(QueryService &service, const Request &request);
+
+/**
+ * Answer a 'query native' request: realize the stencil as a
+ * single-statement nest over the bounds box, plan its storage
+ * mapping, JIT-compile the lexicographic and register-tiled OV-mapped
+ * kernels with the host C compiler, verify both bit-exactly against
+ * the interpreter, and report interpreter-vs-native timings:
+ *
+ *     answer <idx> native cells=<n> interp_ns=<t> lex_ns=<t>
+ *         rtile_ns=<t> speedup_lex=<x> speedup_rtile=<x> verified=ok
+ *
+ * Timing figures are wall-clock and NOT covered by the
+ * byte-determinism contract (which is scoped to shortest/storage);
+ * everything before the first _ns field is deterministic.  A missing
+ * host compiler or an unplannable stencil becomes an "error <idx>"
+ * response, like any other input-dependent failure.
+ */
+std::string runNativeRequest(const Request &request);
 
 /**
  * Answer a batch on @p pool (requests fan out; identical in-flight

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The (nest, plan, schedule) triples pinned by the codegen golden
+ * files.  Shared by test_codegen.cc (comparison) and
+ * codegen_golden_gen.cc (regeneration via
+ * scripts/update_codegen_golden.sh) so the two can never disagree
+ * about what a golden case is.
+ */
+
+#ifndef UOV_TESTS_CODEGEN_GOLDEN_CASES_H
+#define UOV_TESTS_CODEGEN_GOLDEN_CASES_H
+
+#include <string>
+#include <vector>
+
+#include "codegen/codegen.h"
+
+namespace uov {
+namespace golden {
+
+struct GoldenCase
+{
+    std::string name; ///< file stem under tests/data/codegen/
+    LoopNest nest;
+    CodegenOptions options;
+};
+
+/** The 3-D heat nest used across the codegen tests. */
+inline LoopNest
+heatNest3d()
+{
+    LoopNest nest("heat", IVec{1, 0, 0}, IVec{6, 7, 5});
+    Statement s;
+    s.name = "H";
+    s.write = uniformAccess("H", IVec{0, 0, 0});
+    s.reads = {uniformAccess("H", IVec{-1, 0, 0}),
+               uniformAccess("H", IVec{-1, 1, 0}),
+               uniformAccess("H", IVec{-1, -1, 0}),
+               uniformAccess("H", IVec{-1, 0, 1}),
+               uniformAccess("H", IVec{-1, 0, -1})};
+    nest.addStatement(s);
+    return nest;
+}
+
+/** The pinned golden triples.  Growing this list is fine; changing an
+ *  existing entry means regenerating its golden file. */
+inline std::vector<GoldenCase>
+goldenCases()
+{
+    std::vector<GoldenCase> cases;
+    {
+        CodegenOptions opts;
+        opts.function_name = "uov_golden_lex";
+        cases.push_back({"lex_ov_stencil5",
+                         nests::fivePointStencil(10, 12), opts});
+    }
+    {
+        CodegenOptions opts;
+        opts.schedule = GenSchedule::SkewedTiled;
+        opts.tile_sizes = {4, 8};
+        opts.function_name = "uov_golden_tiled";
+        cases.push_back({"tiled_ov_stencil5",
+                         nests::fivePointStencil(12, 16), opts});
+    }
+    {
+        CodegenOptions opts;
+        opts.schedule = GenSchedule::RegisterTiled;
+        opts.function_name = "uov_golden_rtile";
+        cases.push_back({"rtile_ov_heat3d", heatNest3d(), opts});
+    }
+    return cases;
+}
+
+} // namespace golden
+} // namespace uov
+
+#endif // UOV_TESTS_CODEGEN_GOLDEN_CASES_H

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Regenerates the codegen golden files.  Invoked by
+ * scripts/update_codegen_golden.sh; writes one <name>.golden.c per
+ * entry of codegen_golden_cases.h into the directory given as argv[1].
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "codegen_golden_cases.h"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::cerr << "usage: codegen_golden_gen <output-dir>\n";
+        return 2;
+    }
+    std::string dir = argv[1];
+    for (const auto &gc : uov::golden::goldenCases()) {
+        uov::MappingPlan plan = uov::planStorageMapping(gc.nest, 0);
+        uov::GeneratedCode code =
+            uov::generateC(gc.nest, plan, gc.options);
+        std::string path = dir + "/" + gc.name + ".golden.c";
+        std::ofstream out(path);
+        if (!out.good()) {
+            std::cerr << "cannot write " << path << "\n";
+            return 1;
+        }
+        out << code.source;
+        std::cout << "wrote " << path << " (" << code.source.size()
+                  << " bytes)\n";
+    }
+    return 0;
+}

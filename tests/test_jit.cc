@@ -1,0 +1,149 @@
+/**
+ * @file
+ * JitCompiler negative paths and cache behavior: a missing compiler
+ * is detectable up front (tests skip, not fail), a failed compile
+ * surfaces the compiler's stderr in the exception, and recompiling
+ * identical source is a cache hit that never invokes the compiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "codegen/codegen.h"
+#include "codegen/jit.h"
+
+namespace uov {
+namespace {
+
+JitOptions
+freshCacheOptions(const std::string &tag)
+{
+    static int counter = 0;
+    JitOptions opts;
+    opts.cache_dir = ::testing::TempDir() + "uov_jit_" + tag + "_" +
+                     std::to_string(counter++);
+    // TempDir survives across runs; a cached .so from a previous
+    // invocation would turn first compiles into cache hits.
+    std::filesystem::remove_all(opts.cache_dir);
+    return opts;
+}
+
+constexpr const char *kTrivialKernel =
+    "void jit_trivial(double *output) { output[0] = 42.0; }\n";
+
+TEST(Jit, MissingCompilerIsDetectableUpFront)
+{
+    // A nonexistent compiler name must surface as !available(), the
+    // guard callers use to skip instead of failing.
+    JitOptions opts = freshCacheOptions("missing");
+    opts.compiler = "uov-no-such-compiler-on-any-path";
+    JitCompiler jit(opts);
+    EXPECT_FALSE(jit.available());
+    try {
+        jit.compile(kTrivialKernel);
+        FAIL() << "expected UovUserError";
+    } catch (const UovUserError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("no host C compiler found"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("UOV_CC"), std::string::npos) << msg;
+    }
+}
+
+TEST(Jit, CompileErrorSurfacesStderr)
+{
+    if (!JitCompiler::hostCompilerAvailable())
+        GTEST_SKIP() << "no host C compiler on PATH";
+    JitCompiler jit(freshCacheOptions("err"));
+    try {
+        jit.compile("void broken( { this is not C;\n");
+        FAIL() << "expected UovError";
+    } catch (const UovError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("JIT compilation failed"),
+                  std::string::npos)
+            << msg;
+        // The diagnostic text itself must ride along, not just a
+        // return code.
+        EXPECT_NE(msg.find("compiler stderr:"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("error"), std::string::npos) << msg;
+    }
+}
+
+TEST(Jit, CacheHitSkipsCompilerInvocation)
+{
+    if (!JitCompiler::hostCompilerAvailable())
+        GTEST_SKIP() << "no host C compiler on PATH";
+    JitCompiler jit(freshCacheOptions("cache"));
+
+    std::string first = jit.compile(kTrivialKernel);
+    EXPECT_EQ(jit.compilesInvoked(), 1u);
+    EXPECT_EQ(jit.cacheHits(), 0u);
+
+    std::string second = jit.compile(kTrivialKernel);
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(jit.compilesInvoked(), 1u) << "cache hit recompiled";
+    EXPECT_EQ(jit.cacheHits(), 1u);
+
+    // Different source, different object.
+    std::string third = jit.compile(
+        "void jit_other(double *output) { output[0] = 7.0; }\n");
+    EXPECT_NE(third, first);
+    EXPECT_EQ(jit.compilesInvoked(), 2u);
+}
+
+TEST(Jit, CacheKeyCoversFlagsAndSource)
+{
+    JitOptions a = freshCacheOptions("key");
+    JitOptions b = a;
+    b.flags.push_back("-DSOMETHING");
+    JitCompiler ja(a), jb(b);
+    EXPECT_NE(ja.cacheKey(kTrivialKernel), jb.cacheKey(kTrivialKernel));
+    EXPECT_NE(ja.cacheKey(kTrivialKernel), ja.cacheKey("int x;\n"));
+    EXPECT_EQ(ja.cacheKey(kTrivialKernel), ja.cacheKey(kTrivialKernel));
+}
+
+TEST(Jit, LoadAndResolveSymbols)
+{
+    if (!JitCompiler::hostCompilerAvailable())
+        GTEST_SKIP() << "no host C compiler on PATH";
+    JitCompiler jit(freshCacheOptions("load"));
+    JitKernel kernel = jit.load(jit.compile(kTrivialKernel));
+    ASSERT_TRUE(static_cast<bool>(kernel));
+
+    auto fn = kernel.fn<void (*)(double *)>("jit_trivial");
+    double out = 0.0;
+    fn(&out);
+    EXPECT_EQ(out, 42.0);
+
+    EXPECT_THROW(kernel.sym("no_such_symbol"), UovError);
+
+    // Moved-from kernels give up their handle.
+    JitKernel moved = std::move(kernel);
+    EXPECT_TRUE(static_cast<bool>(moved));
+    EXPECT_FALSE(static_cast<bool>(kernel));
+}
+
+TEST(Jit, CompileAndLoadGeneratedKernel)
+{
+    if (!JitCompiler::hostCompilerAvailable())
+        GTEST_SKIP() << "no host C compiler on PATH";
+    LoopNest nest = nests::simpleExample(8, 9);
+    MappingPlan plan = planStorageMapping(nest, 0);
+    GeneratedCode code = generateC(nest, plan);
+
+    JitCompiler jit(freshCacheOptions("gen"));
+    JitKernel kernel = jit.compileAndLoad(code);
+    std::vector<double> out(
+        static_cast<size_t>(outputCellCount(nest)), -1.0);
+    kernel.fn<void (*)(double *)>(code.function_name.c_str())(
+        out.data());
+    EXPECT_EQ(out, interpretKernel(nest));
+}
+
+} // namespace
+} // namespace uov

@@ -10,6 +10,7 @@
 
 #include <sstream>
 
+#include "codegen/jit.h"
 #include "service/executor.h"
 #include "support/failpoint.h"
 
@@ -58,7 +59,8 @@ TEST(Executor, RejectsMalformedLines)
         {"query shortest deps [1,x]", "bad dependence"},
         {"query storage deps [1,0]", "storage query needs 'bounds'"},
         {"query shortest bounds 0..3 deps [1,0]",
-         "'bounds' is only valid for storage queries"},
+         "'bounds' is only valid for storage and native queries"},
+        {"query native deps [1,0]", "native query needs 'bounds'"},
         {"query storage bounds deps [1,0]",
          "'bounds' needs at least one range"},
         {"query storage bounds 0-3 deps [1,0]", "bad range"},
@@ -72,6 +74,36 @@ TEST(Executor, RejectsMalformedLines)
             << "line '" << c.line << "' produced error '" << r.error
             << "'";
     }
+}
+
+TEST(Executor, ParsesNativeQuery)
+{
+    Request r = parseRequestLine(
+        "query native bounds 0..9 0..9 deps [1,-1] [1,0] [1,1]", 2);
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_TRUE(r.native);
+    ASSERT_TRUE(r.isg_lo.has_value());
+    EXPECT_EQ(*r.isg_hi, (IVec{9, 9}));
+}
+
+TEST(Executor, NativeQueryAnswersWithVerifiedTimings)
+{
+    if (!JitCompiler::hostCompilerAvailable())
+        GTEST_SKIP() << "no host C compiler on PATH";
+    Request r = parseRequestLine(
+        "query native bounds 0..9 0..9 deps [1,-1] [1,0] [1,1]", 1);
+    ASSERT_TRUE(r.error.empty()) << r.error;
+    std::string resp = runNativeRequest(r);
+    EXPECT_EQ(resp.rfind("answer 1 native uov=(2, 0) ", 0), 0u)
+        << resp;
+    EXPECT_NE(resp.find(" interp_ns="), std::string::npos) << resp;
+    EXPECT_NE(resp.find(" speedup_rtile="), std::string::npos) << resp;
+    EXPECT_NE(resp.find(" verified=ok"), std::string::npos) << resp;
+
+    // The direct batch path routes native requests the same way.
+    std::vector<std::string> direct = runBatchDirect({r});
+    ASSERT_EQ(direct.size(), 1u);
+    EXPECT_EQ(direct[0].rfind("answer 1 native ", 0), 0u) << direct[0];
 }
 
 TEST(Executor, SkipsCommentsAndBlankLines)
