@@ -145,9 +145,27 @@ JitKernel::sym(const std::string &name) const
 JitCompiler::JitCompiler(JitOptions options)
     : _flags(std::move(options.flags))
 {
-    _compiler = options.compiler.empty()
-                    ? findHostCompiler()
-                    : searchPath(options.compiler);
+    // A compiler named explicitly -- via options or $UOV_CC -- that
+    // does not resolve is a configuration error surfaced once, here,
+    // rather than as a confusing shell failure on every compile().
+    // Only the unconfigured probe (cc/gcc/clang on PATH) may quietly
+    // come up empty; that is the graceful skip-not-fail path.
+    const char *env = std::getenv("UOV_CC");
+    if (!options.compiler.empty()) {
+        _compiler = searchPath(options.compiler);
+        UOV_REQUIRE(!_compiler.empty(),
+                    "JIT compiler '" << options.compiler
+                        << "' is not an executable on PATH or disk; "
+                           "fix the compiler option");
+    } else if (env != nullptr && *env != '\0') {
+        _compiler = searchPath(env);
+        UOV_REQUIRE(!_compiler.empty(),
+                    "UOV_CC='" << env
+                        << "' is not an executable on PATH or disk; "
+                           "fix or unset UOV_CC");
+    } else {
+        _compiler = findHostCompiler();
+    }
     if (options.cache_dir.empty()) {
         _cache_dir = (fs::temp_directory_path() /
                       ("uov-jit-cache-" +
@@ -161,10 +179,14 @@ JitCompiler::JitCompiler(JitOptions options)
 std::string
 JitCompiler::findHostCompiler()
 {
+    // A set-but-broken UOV_CC is respected, not silently skipped:
+    // returning "" here makes hostCompilerAvailable() false, so
+    // skip-guarded tests skip and JitCompiler construction raises
+    // one actionable error instead of falling back behind the
+    // user's back.
     if (const char *env = std::getenv("UOV_CC")) {
-        std::string found = searchPath(env);
-        if (!found.empty())
-            return found;
+        if (*env != '\0')
+            return searchPath(env);
     }
     for (const char *candidate : {"cc", "gcc", "clang"}) {
         std::string found = searchPath(candidate);

@@ -16,6 +16,10 @@
  * Everything degrades loudly but gracefully: a missing compiler is
  * detectable up front (available() / hostCompilerAvailable()), and a
  * failed compile throws a UovError carrying the compiler's stderr.
+ * A compiler named *explicitly* -- JitOptions::compiler or a set
+ * UOV_CC -- that does not resolve to an executable is a configuration
+ * error: construction throws one actionable UovUserError instead of
+ * silently falling back or failing per compile.
  */
 
 #ifndef UOV_CODEGEN_JIT_H
@@ -114,6 +118,9 @@ struct JitOptions
 class JitCompiler
 {
   public:
+    /** @throws UovUserError when an explicitly named compiler
+     *  (options.compiler, else a nonempty $UOV_CC) is nonexistent or
+     *  not executable.  The unconfigured probe never throws. */
     explicit JitCompiler(JitOptions options = {});
 
     /** Detected compiler path ("" when none was found). */

@@ -17,35 +17,6 @@ RegisterPlan::str() const
     return oss.str();
 }
 
-bool
-jamLegal(const std::vector<IVec> &dists, size_t jam_dim,
-         int64_t factor)
-{
-    if (factor <= 1)
-        return true;
-    for (const IVec &d : dists) {
-        bool outer_zero = true;
-        for (size_t k = 0; k < jam_dim; ++k)
-            if (d[k] != 0) {
-                outer_zero = false;
-                break;
-            }
-        if (!outer_zero)
-            continue;
-        if (d[jam_dim] < 1 || d[jam_dim] >= factor)
-            continue;
-        // Same jam block is possible; the inner suffix must not run
-        // the consumer at an earlier inner point than the producer.
-        for (size_t k = jam_dim + 1; k < d.dim(); ++k) {
-            if (d[k] > 0)
-                break; // lex-positive suffix: consumer later, fine
-            if (d[k] < 0)
-                return false; // lex-negative suffix: reordered
-        }
-    }
-    return true;
-}
-
 RegisterPlan
 evaluateRegisterPlan(const std::vector<IVec> &dists, size_t depth,
                      int64_t jam, int64_t unroll, int64_t live_hint)

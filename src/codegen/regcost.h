@@ -28,6 +28,9 @@
 #include <vector>
 
 #include "geometry/ivec.h"
+// jamLegal lives with the other schedule-legality predicates; kept
+// reachable from here because jam selection is its main client.
+#include "schedule/legality.h"
 
 namespace uov {
 
@@ -52,18 +55,6 @@ struct RegisterPlan
 
     std::string str() const;
 };
-
-/**
- * True iff jamming the loop at dimension @p jam_dim by @p factor
- * preserves every dependence in @p dists.  Jamming interleaves
- * @p factor consecutive jam-dim iterations across the inner loops;
- * a dependence with zero distance on every outer dimension, jam-dim
- * distance in [1, factor), and a lexicographically negative inner
- * suffix would make a consumer run before its producer.  Pure
- * innermost unrolling never reorders, so it needs no check.
- */
-bool jamLegal(const std::vector<IVec> &dists, size_t jam_dim,
-              int64_t factor);
 
 /**
  * Pick unroll-and-jam factors for a depth-@p depth nest whose reads

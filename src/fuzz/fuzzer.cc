@@ -28,6 +28,8 @@ oracleName(OracleKind kind)
         return "fault";
       case OracleKind::Codegen:
         return "codegen";
+      case OracleKind::Tune:
+        return "tune";
     }
     UOV_UNREACHABLE("bad oracle kind");
 }
@@ -39,7 +41,7 @@ parseOracleName(const std::string &name)
          {OracleKind::Membership, OracleKind::Search,
           OracleKind::Mapping, OracleKind::Streaming,
           OracleKind::Service, OracleKind::Fault,
-          OracleKind::Codegen}) {
+          OracleKind::Codegen, OracleKind::Tune}) {
         if (name == oracleName(k))
             return k;
     }
@@ -65,6 +67,8 @@ runOracle(OracleKind kind, const FuzzCase &c)
             return checkFault(c);
           case OracleKind::Codegen:
             return checkCodegen(c);
+          case OracleKind::Tune:
+            return checkTune(c);
         }
         UOV_UNREACHABLE("bad oracle kind");
     } catch (const UovError &e) {
@@ -87,7 +91,7 @@ namespace {
 /** The stencil-shaped oracles a corpus nest exercises. */
 constexpr OracleKind kCorpusOracles[] = {
     OracleKind::Membership, OracleKind::Search, OracleKind::Mapping,
-    OracleKind::Service, OracleKind::Codegen};
+    OracleKind::Service, OracleKind::Codegen, OracleKind::Tune};
 
 void
 recordFailure(FuzzReport &report, const FuzzOptions &opt,

@@ -1,7 +1,7 @@
 /**
  * @file
  * The differential fuzzing harness: corpus replay + seeded random
- * sweep over the seven oracle families, with automatic shrinking of
+ * sweep over the eight oracle families, with automatic shrinking of
  * anything that fails.
  *
  * One harness serves three masters: the uovfuzz CLI (soak runs and
@@ -27,7 +27,7 @@
 namespace uov {
 namespace fuzz {
 
-/** The seven differential oracle families. */
+/** The eight differential oracle families. */
 enum class OracleKind
 {
     Membership, ///< isUov vs DONE/DEAD vs brute force vs certificates
@@ -37,15 +37,16 @@ enum class OracleKind
     Service,    ///< concurrent cached QueryService vs direct search
     Fault,      ///< batches under fail points and random deadlines
     Codegen,    ///< JIT-compiled kernels vs the interpreter oracle
+    Tune,       ///< autotuner legality/determinism/anytime contracts
 };
 
 /** Number of OracleKind values (the random sweep cycles them all). */
-constexpr size_t kOracleKindCount = 7;
+constexpr size_t kOracleKindCount = 8;
 
 const char *oracleName(OracleKind kind);
 
 /** Parse "membership" | "search" | "mapping" | "streaming" |
- *  "service" | "fault" | "codegen". */
+ *  "service" | "fault" | "codegen" | "tune". */
 std::optional<OracleKind> parseOracleName(const std::string &name);
 
 /** Harness configuration. */
@@ -53,7 +54,7 @@ struct FuzzOptions
 {
     uint64_t seed = 1;
     uint64_t iters = 100;
-    /** Restrict to one oracle; nullopt cycles through all seven. */
+    /** Restrict to one oracle; nullopt cycles through all eight. */
     std::optional<OracleKind> only;
     bool shrink = true;
     GenOptions gen;

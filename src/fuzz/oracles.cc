@@ -26,6 +26,7 @@
 #include "support/error.h"
 #include "support/failpoint.h"
 #include "support/thread_pool.h"
+#include "tune/tune.h"
 
 namespace uov {
 namespace fuzz {
@@ -1028,6 +1029,153 @@ checkCodegen(const FuzzCase &c)
                        " (unroll=" + std::to_string(code.unroll) +
                        ", jam=" + std::to_string(code.jam) + ")";
     }
+    return std::nullopt;
+}
+
+OracleVerdict
+checkTune(const FuzzCase &c)
+{
+    Stencil s = c.stencil();
+    size_t d = s.dim();
+
+    // Same box clamp as checkCodegen (tighter: tune evaluation
+    // replays every candidate point-by-point, four runs per case).
+    std::vector<int64_t> lo(d), hi(d);
+    for (size_t k = 0; k < d; ++k) {
+        lo[k] = c.lo[k];
+        hi[k] = std::min(c.hi[k], c.lo[k] + 3);
+    }
+    IVec box_lo(std::move(lo)), box_hi(std::move(hi));
+
+    // Every-candidate-legal probe, shared by all simulator runs: the
+    // tuner promises it never evaluates an illegal configuration, so
+    // a single violation anywhere is a discrepancy.
+    UovOracle exact(s);
+    std::string violation;
+    auto probe = [&](const tune::TuneCandidate &cand, double score,
+                     size_t index, int64_t) {
+        if (!violation.empty())
+            return;
+        if (!cand.schedule.legal(s)) {
+            violation = "evaluated candidate " + std::to_string(index) +
+                        " has an illegal schedule: " + cand.str();
+            return;
+        }
+        if (cand.storage == GenStorage::OvMapped &&
+            (cand.uov()[0] < 1 || !exact.isUov(cand.uov())))
+            violation = "evaluated OV-mapped candidate " +
+                        std::to_string(index) +
+                        " carries a non-UOV vector: " + cand.str();
+        if (!(score >= 0.0))
+            violation = "candidate " + std::to_string(index) +
+                        " scored " + std::to_string(score);
+    };
+
+    tune::TuneOptions opt;
+    opt.lowerable_only = false; // widest candidate space
+    opt.on_candidate = probe;
+    // Node-bound the embedded UOV searches: random stencils can be
+    // genuinely hard, and a node budget degrades deterministically
+    // (unlike a wall-clock deadline) so the replay check below still
+    // has teeth.
+    opt.budget.max_nodes = 20'000;
+
+    auto runOnce = [&](const tune::TuneOptions &o)
+        -> std::optional<tune::TuneResult> {
+        tune::Tuner tuner(nestFromStencil(s, box_lo, box_hi, "fuzz"),
+                          o);
+        return tuner.run();
+    };
+
+    std::optional<tune::TuneResult> first;
+    try {
+        first = runOnce(opt);
+    } catch (const UovUserError &) {
+        // A case shape the planning pipeline rejects is not a tuner
+        // bug; the mapping/search oracles own that surface.
+        return std::nullopt;
+    }
+    if (!violation.empty())
+        return violation + " over " + s.str();
+
+    if (first->evaluated != first->candidates_total ||
+        first->evaluated == 0)
+        return "deadline-free tuner evaluated " +
+               std::to_string(first->evaluated) + " of " +
+               std::to_string(first->candidates_total) +
+               " candidates over " + s.str();
+    // With no deadline and no candidate cap, the only legitimate
+    // degradation axis is the UOV searches' node budget.
+    if (first->status == tune::TuneStatus::Optimal
+            ? !first->degraded_reason.empty()
+            : first->degraded_reason != "node-budget")
+        return "deadline-free tune run degraded for '" +
+               first->degraded_reason + "' over " + s.str();
+    if (!first->best.schedule.legal(s))
+        return "tune winner has an illegal schedule: " +
+               first->best.str() + " over " + s.str();
+
+    // Determinism: the simulator-evaluated tune is a pure function of
+    // (nest, options) -- the winner, its score, and the evaluated
+    // count must all replay exactly.
+    tune::TuneResult second = *runOnce(opt);
+    if (!violation.empty())
+        return violation + " over " + s.str();
+    if (second.best.str() != first->best.str() ||
+        second.best_score != first->best_score ||
+        second.evaluated != first->evaluated ||
+        second.candidates_total != first->candidates_total)
+        return "tune replay diverged: {" + first->best.str() +
+               ", score " + std::to_string(first->best_score) + ", " +
+               std::to_string(first->evaluated) + "/" +
+               std::to_string(first->candidates_total) + "} vs {" +
+               second.best.str() + ", score " +
+               std::to_string(second.best_score) + ", " +
+               std::to_string(second.evaluated) + "/" +
+               std::to_string(second.candidates_total) + "} over " +
+               s.str();
+
+    // Anytime contract: an already-expired deadline still yields a
+    // legal certified configuration, tagged Degraded, with exactly
+    // the deterministic candidate-0 floor evaluated.
+    tune::TuneOptions zero = opt;
+    zero.budget.deadline = Deadline::afterMillis(0);
+    tune::TuneResult floor = *runOnce(zero);
+    if (!violation.empty())
+        return violation + " over " + s.str();
+    if (floor.status != tune::TuneStatus::Degraded ||
+        floor.degraded_reason.empty())
+        return "0 ms deadline tune was not Degraded over " + s.str();
+    if (floor.evaluated < 1)
+        return "0 ms deadline tune evaluated nothing over " + s.str();
+    if (!floor.best.schedule.legal(s))
+        return "0 ms deadline tune winner is illegal: " +
+               floor.best.str() + " over " + s.str();
+
+    // With a host compiler, a small lowerable-only JIT-evaluated tune:
+    // JitEvaluator re-verifies every measured kernel bit-exactly
+    // against the interpreter internally, so a codegen divergence
+    // inside the tuner surfaces as a thrown UovError here.
+    if (JitCompiler::hostCompilerAvailable()) {
+        tune::JitEvalOptions jopts;
+        jopts.runs = 1; // exactness is the point, not timing
+        tune::JitEvaluator jit_eval(jopts);
+        tune::TuneOptions measured;
+        measured.lowerable_only = true;
+        measured.max_candidates = 6;
+        measured.budget.max_nodes = 20'000;
+        measured.evaluator = &jit_eval;
+        measured.on_candidate = probe;
+        tune::TuneResult timed = *runOnce(measured);
+        if (!violation.empty())
+            return violation + " over " + s.str();
+        if (timed.evaluated < 1 ||
+            !timed.best.schedule.legal(s))
+            return "JIT-evaluated tune returned an unevaluated or "
+                   "illegal winner: " +
+                   timed.best.str() + " over " + s.str();
+    }
+
     return std::nullopt;
 }
 

@@ -26,6 +26,13 @@
  *    and executed, bit-exact against the C++ interpreter oracle for
  *    every schedule x storage variant (skipped when the environment
  *    has no C compiler).
+ *  - Tune: the joint autotuner run under the deterministic simulator
+ *    evaluator -- every evaluated candidate must be legal (schedule
+ *    validates, OV-mapped vectors re-verified with the exact UOV
+ *    oracle), repeated runs must agree byte-for-byte, a 0 ms deadline
+ *    must still return a legal certified Degraded best, and (with a
+ *    host compiler) JIT-measured candidates are bit-exact against the
+ *    interpreter by construction.
  *
  * An oracle returns std::nullopt when every cross-check agrees, or a
  * description of the first discrepancy.  Exceptions escaping an
@@ -114,6 +121,23 @@ OracleVerdict checkStreaming(uint64_t case_seed);
  * pipeline rejects the case shape (not a codegen bug).
  */
 OracleVerdict checkCodegen(const FuzzCase &c);
+
+/**
+ * Autotuner oracle: run the joint (UOV, schedule, factors) tuner on
+ * the case stencil over a clamped box with the deterministic
+ * simulator evaluator and assert its contracts -- every evaluated
+ * candidate is legal (ScheduleBuilder::validate passes; an OV-mapped
+ * candidate's vector is a true UOV with ov[0] >= 1), two identical
+ * runs agree on the candidate space, every score, and the winner, and
+ * a 0 ms deadline still yields a legal best tagged Degraded with at
+ * least candidate 0 evaluated.  When a host C compiler is available a
+ * small lowerable-only JIT-evaluated tune also runs; JitEvaluator
+ * verifies every measured kernel bit-exactly against the interpreter
+ * internally, so any divergence surfaces as a thrown discrepancy.
+ * Returns nullopt without checking anything when the planning
+ * pipeline rejects the case shape (not a tuner bug).
+ */
+OracleVerdict checkTune(const FuzzCase &c);
 
 /**
  * Independent reference for non-negative integer cone membership:

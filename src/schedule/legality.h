@@ -45,6 +45,18 @@ bool tilingLegal(const IMatrix &transform, const Stencil &stencil);
 bool wavefrontLegal(const IVec &h, const Stencil &stencil);
 
 /**
+ * True iff jamming the loop at dimension @p jam_dim by @p factor
+ * preserves every dependence in @p dists.  Jamming interleaves
+ * @p factor consecutive jam-dim iterations across the inner loops;
+ * a dependence with zero distance on every outer dimension, jam-dim
+ * distance in [1, factor), and a lexicographically negative inner
+ * suffix would make a consumer run before its producer.  Pure
+ * innermost unrolling never reorders, so it needs no check.
+ */
+bool jamLegal(const std::vector<IVec> &dists, size_t jam_dim,
+              int64_t factor);
+
+/**
  * Empirical oracle: run the schedule over [lo, hi] and check every
  * in-box dependence edge executes producer-before-consumer and that
  * every point is visited exactly once.

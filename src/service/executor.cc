@@ -8,9 +8,12 @@
 #include <limits>
 #include <sstream>
 
+#include <algorithm>
+
 #include "codegen/codegen.h"
 #include "codegen/jit.h"
 #include "support/error.h"
+#include "tune/tune.h"
 #include "support/failpoint.h"
 #include "support/logging.h"
 #include "support/trace.h"
@@ -142,9 +145,11 @@ parseRequestLine(const std::string &line, size_t index,
         r.objective = SearchObjective::BoundedStorage;
     } else if (tok == "native") {
         r.native = true;
+    } else if (tok == "tune") {
+        r.tune = true;
     } else {
         return fail("bad objective '" + tok +
-                    "', expected shortest|storage|native");
+                    "', expected shortest|storage|native|tune");
     }
 
     if (!(ss >> tok))
@@ -197,13 +202,16 @@ parseRequestLine(const std::string &line, size_t index,
 
     if (r.native && !r.isg_lo)
         return fail("native query needs 'bounds'");
-    if (!r.native && r.objective == SearchObjective::BoundedStorage &&
-        !r.isg_lo)
+    if (r.tune && !r.isg_lo)
+        return fail("tune query needs 'bounds'");
+    bool bounded_objective = r.native || r.tune ||
+                             r.objective == SearchObjective::BoundedStorage;
+    if (!r.native && !r.tune &&
+        r.objective == SearchObjective::BoundedStorage && !r.isg_lo)
         return fail("storage query needs 'bounds'");
-    if (!r.native &&
-        r.objective == SearchObjective::ShortestVector && r.isg_lo)
-        return fail("'bounds' is only valid for storage and native "
-                    "queries");
+    if (!bounded_objective && r.isg_lo)
+        return fail("'bounds' is only valid for storage, native, and "
+                    "tune queries");
     if (r.isg_lo && r.isg_lo->dim() != r.deps[0].dim())
         return fail("bounds rank " +
                     std::to_string(r.isg_lo->dim()) +
@@ -258,25 +266,28 @@ runNativeRequest(const Request &request)
     }
     try {
         Stencil stencil(request.deps);
+        // The deadline gate precedes the compiler probe so a 0 ms
+        // request draws the same (deterministic) error line on every
+        // host.  Native timing has no anytime fallback -- a partial
+        // compile is worthless -- so an expired budget is an error,
+        // not a degraded answer.
+        Deadline deadline = Deadline::afterMillis(request.deadline_ms);
+        auto requireTime = [&](const char *stage) {
+            UOV_REQUIRE(!deadline.expired(),
+                        "deadline_ms " << request.deadline_ms
+                            << " expired " << stage
+                            << "; native timing needs the full run "
+                               "(raise or drop the deadline)");
+        };
+        requireTime("before compilation");
         UOV_REQUIRE(JitCompiler::hostCompilerAvailable(),
                     "native query needs a host C compiler (set UOV_CC "
                     "or put cc, gcc, or clang on PATH)");
 
         // Realize the stencil as the paper's single-statement nest
         // over the bounds box (reads at minus each distance).
-        size_t d = stencil.dim();
-        LoopNest nest("native", *request.isg_lo, *request.isg_hi);
-        Statement st;
-        st.name = "N";
-        st.write = uniformAccess("N", IVec(d));
-        for (const IVec &dep : stencil.deps()) {
-            std::vector<int64_t> off(d);
-            for (size_t k = 0; k < d; ++k)
-                off[k] = -dep[k];
-            st.reads.push_back(
-                uniformAccess("N", IVec(std::move(off))));
-        }
-        nest.addStatement(st);
+        LoopNest nest = nestFromStencil(stencil, *request.isg_lo,
+                                        *request.isg_hi, "native");
 
         MappingPlan plan = planStorageMapping(nest, 0);
         GenStorage storage = plan.mapping.ov()[0] >= 1
@@ -286,6 +297,7 @@ runNativeRequest(const Request &request)
         std::vector<double> ref;
         int64_t interp_ns =
             bestOfThreeNs([&] { ref = interpretKernel(nest); });
+        requireTime("after the interpreter baseline");
 
         JitCompiler jit;
         GeneratedCode lex_code, rtile_code;
@@ -300,6 +312,7 @@ runNativeRequest(const Request &request)
         }
 
         auto timeKernel = [&](const GeneratedCode &code) {
+            requireTime("before JIT compilation");
             JitKernel kernel = jit.compileAndLoad(code);
             auto fn =
                 kernel.fn<void (*)(double *)>(code.function_name);
@@ -336,10 +349,100 @@ runNativeRequest(const Request &request)
 }
 
 std::string
+runTuneRequest(const Request &request)
+{
+    std::ostringstream oss;
+    if (!request.error.empty()) {
+        oss << "error " << request.index << " " << request.error;
+        return oss.str();
+    }
+    try {
+        TRACE_SPAN("service.tune");
+        Stencil stencil(request.deps);
+        LoopNest nest = nestFromStencil(stencil, *request.isg_lo,
+                                        *request.isg_hi, "tune");
+
+        tune::TuneOptions topt;
+        topt.budget.deadline = Deadline::afterMillis(request.deadline_ms);
+        tune::SimEvaluator sim;
+        topt.evaluator = &sim;
+        tune::Tuner tuner(nest, topt);
+        tune::TuneResult res = tuner.run();
+
+        const tune::TuneCandidate &best = res.best;
+        bool ov = best.storage == GenStorage::OvMapped;
+        oss << "answer " << request.index << " tune uov="
+            << (ov ? best.uov().str() : "none") << " storage="
+            << (ov ? "ov" : "expanded")
+            << " schedule=" << best.schedule.str()
+            << " cells=" << best.cells() << " sim_cycles="
+            << static_cast<int64_t>(res.best_score)
+            << " evaluated=" << res.evaluated << "/"
+            << res.candidates_total;
+        if (res.degraded())
+            oss << " degraded=" << res.degraded_reason;
+
+        // Measurement tail: wall-clock figures, exempt from the
+        // byte-determinism contract like 'query native' timings.
+        if (!JitCompiler::hostCompilerAvailable()) {
+            oss << " measure=unavailable";
+            return oss.str();
+        }
+        if (topt.budget.deadline.expired()) {
+            oss << " measure=deadline";
+            return oss.str();
+        }
+        tune::JitEvaluator jit_eval;
+        tune::TuneContext ctx(nest, tuner.stencil());
+        const auto &cands = tuner.candidates();
+        const auto &scores = tuner.scores();
+
+        // Candidate 0 is the default lexicographic kernel; measure
+        // it, then the top simulator-ranked lowerable candidates.
+        double lex_ns = jit_eval.score(ctx, cands[0]);
+        std::vector<size_t> ranked;
+        for (size_t i = 0; i < scores.size(); ++i)
+            if (cands[i].schedule.lower(stencil).has_value())
+                ranked.push_back(i);
+        std::stable_sort(ranked.begin(), ranked.end(),
+                         [&](size_t a, size_t b) {
+                             return scores[a] < scores[b];
+                         });
+        double best_ns = lex_ns;
+        size_t best_idx = 0;
+        size_t measured = 0;
+        for (size_t idx : ranked) {
+            if (measured >= 4 || topt.budget.deadline.expired())
+                break;
+            if (idx == 0)
+                continue; // the lex baseline, already measured
+            double ns = jit_eval.score(ctx, cands[idx]);
+            ++measured;
+            if (ns < best_ns) {
+                best_ns = ns;
+                best_idx = idx;
+            }
+        }
+        oss << std::fixed << std::setprecision(2)
+            << " lex_ns=" << static_cast<int64_t>(lex_ns)
+            << " best_ns=" << static_cast<int64_t>(best_ns)
+            << " speedup_vs_lex=" << lex_ns / best_ns
+            << " best_measured={" << cands[best_idx].str() << "}"
+            << " verified=ok";
+    } catch (const UovError &e) {
+        oss.str("");
+        oss << "error " << request.index << " " << e.what();
+    }
+    return oss.str();
+}
+
+std::string
 runRequest(QueryService &service, const Request &request)
 {
     if (request.native)
         return runNativeRequest(request);
+    if (request.tune)
+        return runTuneRequest(request);
     return answerRequest(request, [&](const Stencil &s) {
         return service.query(s, request.objective, request.isg_lo,
                              request.isg_hi, request.deadline_ms);
@@ -504,6 +607,10 @@ runBatchDirect(const std::vector<Request> &requests, uint64_t max_visits)
     for (const Request &r : requests) {
         if (r.native) {
             responses.push_back(runNativeRequest(r));
+            continue;
+        }
+        if (r.tune) {
+            responses.push_back(runTuneRequest(r));
             continue;
         }
         responses.push_back(answerRequest(r, [&](const Stencil &s) {

@@ -15,6 +15,8 @@
  *     query shortest deadline_ms 5 deps [1,-1] [1,0] [1,1]
  *     # JIT-compile the mapped kernel and time it vs the interpreter
  *     query native bounds 0..17 0..99 deps [1,-1] [1,0] [1,1]
+ *     # jointly tune (UOV, schedule, factors) over the bounds box
+ *     query tune bounds 0..17 0..99 deps [1,-1] [1,0] [1,1]
  *
  * Responses are written strictly in request order, one line each:
  *
@@ -57,6 +59,7 @@ struct Request
     std::vector<IVec> deps; ///< as presented (not yet canonical)
     SearchObjective objective = SearchObjective::ShortestVector;
     bool native = false;    ///< 'query native': JIT timing request
+    bool tune = false;      ///< 'query tune': joint autotune request
     std::optional<IVec> isg_lo;
     std::optional<IVec> isg_hi;
     int64_t deadline_ms = -1; ///< wall-clock budget; -1 = unbounded
@@ -145,6 +148,32 @@ std::string runRequest(QueryService &service, const Request &request);
  * response, like any other input-dependent failure.
  */
 std::string runNativeRequest(const Request &request);
+
+/**
+ * Answer a 'query tune' request: realize the stencil over the bounds
+ * box and run the joint (UOV, schedule, tile/unroll) tuner under the
+ * request deadline, scoring with the deterministic cache/TLB
+ * simulator:
+ *
+ *     answer <idx> tune uov=(2, 0) storage=ov schedule=unroll(4)
+ *         cells=<n> sim_cycles=<c> evaluated=<k>/<total>
+ *         [degraded=<reason>] ...
+ *
+ * Everything up to here is byte-deterministic (deadline_ms in
+ * {-1, 0}; positive deadlines truncate the evaluated prefix).  When a
+ * host compiler is available and the deadline has not expired, the
+ * top simulator-ranked lowerable candidates plus the default
+ * lexicographic kernel are then JIT-measured (each verified
+ * bit-exactly against the interpreter) and the line continues in the
+ * _ns-exempt zone:
+ *
+ *     ... lex_ns=<t> best_ns=<t> speedup_vs_lex=<x>
+ *         best_measured={...} verified=ok
+ *
+ * With no compiler the tail is " measure=unavailable"; with an
+ * expired deadline, " measure=deadline".
+ */
+std::string runTuneRequest(const Request &request);
 
 /**
  * Answer a batch on @p pool (requests fan out; identical in-flight

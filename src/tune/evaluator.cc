@@ -1,0 +1,334 @@
+#include "tune/evaluator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "support/error.h"
+#include "support/trace.h"
+
+namespace uov {
+namespace tune {
+
+int64_t
+TuneCandidate::cells() const
+{
+    return storage == GenStorage::OvMapped ? plan->mapping.cellCount()
+                                           : plan->expanded_cells;
+}
+
+std::string
+TuneCandidate::str() const
+{
+    std::ostringstream oss;
+    oss << "storage="
+        << (storage == GenStorage::OvMapped ? "ov" : "expanded");
+    if (storage == GenStorage::OvMapped)
+        oss << " uov=" << plan->mapping.ov().str();
+    oss << " schedule=" << schedule.str();
+    return oss.str();
+}
+
+const std::vector<double> &
+TuneContext::reference()
+{
+    if (!_ref) {
+        TRACE_SPAN("tune.reference");
+        _ref = interpretKernel(*_nest);
+    }
+    return *_ref;
+}
+
+namespace {
+
+/**
+ * Streams one candidate's accesses through a MemorySystem with the
+ * emitted body grouping: within a group (one register-tiled body),
+ * reads forwarded from an already executed in-group write are free,
+ * repeated reads of one cell share a load, and the group costs one
+ * loop branch.
+ */
+class AccessStream
+{
+  public:
+    AccessStream(MemorySystem &mem, const TuneCandidate &cand,
+                 const std::vector<IVec> &deps, const IVec &lo,
+                 const IVec &hi)
+        : _mem(mem), _cand(cand), _deps(deps), _lo(lo), _hi(hi),
+          _ov(cand.storage == GenStorage::OvMapped)
+    {
+        size_t d = lo.dim();
+        _stride.assign(d, 1);
+        for (size_t k = d; k-- > 1;)
+            _stride[k - 1] = _stride[k] * (hi[k] - lo[k] + 1);
+    }
+
+    void
+    point(const IVec &q)
+    {
+        _group.push_back(q);
+    }
+
+    void
+    flush()
+    {
+        if (_group.empty())
+            return;
+        _loaded.clear();
+        _executed.clear();
+        for (const IVec &q : _group) {
+            for (const IVec &v : _deps) {
+                IVec src = q - v;
+                if (!inBox(src)) {
+                    // Boundary value: computed arithmetically by the
+                    // generated bval(), no memory traffic.
+                    _mem.compute(1.0);
+                    continue;
+                }
+                if (_executed.count(linear(src)) != 0)
+                    continue; // forwarded through a register
+                int64_t cell = cellOf(src);
+                if (_loaded.insert(cell).second)
+                    _mem.access(static_cast<uint64_t>(cell) * 8, false);
+            }
+            _mem.access(static_cast<uint64_t>(cellOf(q)) * 8, true);
+            _executed.insert(linear(q));
+            // The add chain: one flop per read plus the store issue.
+            _mem.compute(1.0 +
+                         0.5 * static_cast<double>(_deps.size()));
+        }
+        _mem.branch();
+        _group.clear();
+    }
+
+  private:
+    bool
+    inBox(const IVec &q) const
+    {
+        for (size_t k = 0; k < q.dim(); ++k)
+            if (q[k] < _lo[k] || q[k] > _hi[k])
+                return false;
+        return true;
+    }
+
+    int64_t
+    linear(const IVec &q) const
+    {
+        int64_t idx = 0;
+        for (size_t k = 0; k < q.dim(); ++k)
+            idx += (q[k] - _lo[k]) * _stride[k];
+        return idx;
+    }
+
+    int64_t
+    cellOf(const IVec &q) const
+    {
+        return _ov ? _cand.plan->mapping(q) : linear(q);
+    }
+
+    MemorySystem &_mem;
+    const TuneCandidate &_cand;
+    const std::vector<IVec> &_deps;
+    const IVec &_lo;
+    const IVec &_hi;
+    bool _ov;
+    std::vector<int64_t> _stride;
+    std::vector<IVec> _group;
+    std::set<int64_t> _loaded;
+    std::unordered_set<int64_t> _executed;
+};
+
+/**
+ * Replay the exact register-tiled emission order (codegen.cc
+ * emitRegisterTiled): main jam blocks of J x U copies, an unroll
+ * remainder of J x 1 groups, then a jam remainder of 1 x U and 1 x 1
+ * groups.  Copies execute innermost-offset-major, jam-offset minor.
+ */
+void
+replayRegisterTiled(AccessStream &stream, const IVec &lo,
+                    const IVec &hi, int64_t jam, int64_t unroll)
+{
+    size_t d = lo.dim();
+    size_t u = d - 1;
+    size_t j = d >= 2 ? d - 2 : 0;
+
+    auto innerLoops = [&](IVec &q, int64_t copies) {
+        for (int64_t qu = lo[u]; qu + unroll - 1 <= hi[u];
+             qu += unroll) {
+            for (int64_t b = 0; b < unroll; ++b)
+                for (int64_t a = 0; a < copies; ++a) {
+                    if (d >= 2)
+                        q[j] += a;
+                    q[u] = qu + b;
+                    stream.point(q);
+                    if (d >= 2)
+                        q[j] -= a;
+                }
+            stream.flush();
+        }
+        int64_t rem_from =
+            lo[u] + ((hi[u] - lo[u] + 1) / unroll) * unroll;
+        for (int64_t qu = rem_from; qu <= hi[u]; ++qu) {
+            for (int64_t a = 0; a < copies; ++a) {
+                if (d >= 2)
+                    q[j] += a;
+                q[u] = qu;
+                stream.point(q);
+                if (d >= 2)
+                    q[j] -= a;
+            }
+            stream.flush();
+        }
+    };
+
+    auto jamLoops = [&](IVec &q) {
+        if (d == 1) {
+            innerLoops(q, 1);
+            return;
+        }
+        int64_t qj = lo[j];
+        for (; qj + jam - 1 <= hi[j]; qj += jam) {
+            q[j] = qj;
+            innerLoops(q, jam);
+        }
+        for (; qj <= hi[j]; ++qj) {
+            q[j] = qj;
+            innerLoops(q, 1);
+        }
+    };
+
+    IVec q(d);
+    if (d <= 2) {
+        jamLoops(q);
+        return;
+    }
+    // Plain lexicographic odometer over dims 0..d-3.
+    for (size_t k = 0; k < j; ++k)
+        q[k] = lo[k];
+    for (;;) {
+        jamLoops(q);
+        size_t k = j;
+        for (;;) {
+            if (k == 0)
+                return;
+            --k;
+            if (++q[k] <= hi[k])
+                break;
+            q[k] = lo[k];
+        }
+    }
+}
+
+} // namespace
+
+double
+SimEvaluator::score(TuneContext &ctx, const TuneCandidate &cand)
+{
+    TRACE_SPAN("tune.sim_score");
+    const LoopNest &nest = ctx.nest();
+    const IVec &lo = nest.lo();
+    const IVec &hi = nest.hi();
+    const std::vector<IVec> &deps = ctx.stencil().deps();
+
+    MemorySystem mem(_machine);
+    AccessStream stream(mem, cand, deps, lo, hi);
+
+    auto lowered = cand.schedule.lower(ctx.stencil());
+    if (lowered && lowered->form == LoweredForm::RegisterTiled) {
+        replayRegisterTiled(stream, lo, hi,
+                            std::max<int64_t>(lowered->jam, 1),
+                            std::max<int64_t>(lowered->unroll, 1));
+    } else {
+        // Everything else visits points one per body; the builder's
+        // Schedule object supplies the order (lex, skewed, tiled,
+        // reordered) exactly as the empirical legality oracle sees it.
+        auto schedule = cand.schedule.buildSchedule(lo, hi);
+        schedule->forEach(lo, hi, [&](const IVec &q) {
+            stream.point(q);
+            stream.flush();
+        });
+    }
+    stream.flush();
+    return mem.cycles();
+}
+
+JitEvaluator::JitEvaluator(JitEvalOptions options)
+    : _jit(options.jit), _runs(options.runs < 1 ? 1 : options.runs)
+{
+    UOV_REQUIRE(_jit.available(),
+                "tune JIT evaluator needs a host C compiler (set "
+                "UOV_CC or put cc, gcc, or clang on PATH)");
+}
+
+double
+JitEvaluator::score(TuneContext &ctx, const TuneCandidate &cand)
+{
+    TRACE_SPAN("tune.jit_score");
+    auto lowered = cand.schedule.lower(ctx.stencil());
+    UOV_REQUIRE(lowered.has_value(),
+                "tune JIT evaluator: schedule '"
+                    << cand.schedule.str()
+                    << "' has no native lowering (simulator only)");
+
+    CodegenOptions opts;
+    switch (lowered->form) {
+    case LoweredForm::Lexicographic:
+        opts.schedule = GenSchedule::Lexicographic;
+        break;
+    case LoweredForm::SkewedTiled:
+        opts.schedule = GenSchedule::SkewedTiled;
+        break;
+    case LoweredForm::RegisterTiled:
+        opts.schedule = GenSchedule::RegisterTiled;
+        break;
+    }
+    opts.storage = cand.storage;
+    opts.tile_sizes = lowered->tile_sizes;
+    opts.unroll = lowered->unroll;
+    opts.jam = lowered->jam;
+    opts.function_name = "uov_tune_kernel";
+
+    GeneratedCode code = generateC(ctx.nest(), *cand.plan, opts);
+    JitKernel kernel = _jit.compileAndLoad(code);
+    auto fn = kernel.fn<void (*)(double *)>(code.function_name);
+
+    const std::vector<double> &ref = ctx.reference();
+    std::vector<double> out(ref.size(), 0.0);
+    fn(out.data());
+    UOV_CHECK(out == ref, "tune candidate {" << cand.str()
+                              << "} diverged from the interpreter");
+
+    // Small kernels finish in microseconds, where a single call is
+    // mostly clock noise; amortize by looping each sample until it
+    // spans ~100 us (the verification call above doubles as warmup
+    // and sizes the repetition count).
+    auto t0 = std::chrono::steady_clock::now();
+    fn(out.data());
+    auto t1 = std::chrono::steady_clock::now();
+    int64_t once =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count();
+    int64_t iters = once > 0 ? 100'000 / once : 1000;
+    iters = std::max<int64_t>(1, std::min<int64_t>(iters, 1000));
+
+    std::vector<int64_t> ns(static_cast<size_t>(_runs));
+    for (int r = 0; r < _runs; ++r) {
+        auto s0 = std::chrono::steady_clock::now();
+        for (int64_t i = 0; i < iters; ++i)
+            fn(out.data());
+        auto s1 = std::chrono::steady_clock::now();
+        ns[static_cast<size_t>(r)] =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(s1 -
+                                                                 s0)
+                .count() /
+            iters;
+    }
+    std::sort(ns.begin(), ns.end());
+    int64_t median = ns[ns.size() / 2];
+    return static_cast<double>(median < 1 ? 1 : median);
+}
+
+} // namespace tune
+} // namespace uov

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
@@ -16,6 +17,36 @@
 
 namespace uov {
 namespace {
+
+/** Scoped setenv/unsetenv that restores the old value on exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : _name(name)
+    {
+        const char *old = std::getenv(name);
+        if (old != nullptr) {
+            _had_old = true;
+            _old = old;
+        }
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (_had_old)
+            ::setenv(_name.c_str(), _old.c_str(), 1);
+        else
+            ::unsetenv(_name.c_str());
+    }
+
+  private:
+    std::string _name;
+    bool _had_old = false;
+    std::string _old;
+};
 
 JitOptions
 freshCacheOptions(const std::string &tag)
@@ -33,13 +64,57 @@ freshCacheOptions(const std::string &tag)
 constexpr const char *kTrivialKernel =
     "void jit_trivial(double *output) { output[0] = 42.0; }\n";
 
-TEST(Jit, MissingCompilerIsDetectableUpFront)
+TEST(Jit, ExplicitMissingCompilerThrowsAtConstruction)
 {
-    // A nonexistent compiler name must surface as !available(), the
-    // guard callers use to skip instead of failing.
+    // A compiler named explicitly is a configuration the user chose;
+    // when it does not resolve, construction throws one actionable
+    // error instead of failing confusingly on every compile().
     JitOptions opts = freshCacheOptions("missing");
     opts.compiler = "uov-no-such-compiler-on-any-path";
-    JitCompiler jit(opts);
+    try {
+        JitCompiler jit(opts);
+        FAIL() << "expected UovUserError";
+    } catch (const UovUserError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("uov-no-such-compiler-on-any-path"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("not an executable"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("compiler option"), std::string::npos)
+            << msg;
+    }
+}
+
+TEST(Jit, BrokenUovCcThrowsAtConstructionAndDisablesProbe)
+{
+    // A set-but-broken UOV_CC is respected, not silently skipped:
+    // the probe reports no compiler (so guarded tests skip) and
+    // construction raises one actionable error naming the variable.
+    ScopedEnv env("UOV_CC", "/nonexistent/uov-cc-binary");
+    EXPECT_EQ(JitCompiler::findHostCompiler(), "");
+    EXPECT_FALSE(JitCompiler::hostCompilerAvailable());
+    try {
+        JitCompiler jit(freshCacheOptions("broken_env"));
+        FAIL() << "expected UovUserError";
+    } catch (const UovUserError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("UOV_CC"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("/nonexistent/uov-cc-binary"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("fix or unset"), std::string::npos) << msg;
+    }
+}
+
+TEST(Jit, UnconfiguredProbeNeverThrows)
+{
+    // With neither an explicit compiler nor UOV_CC, an empty PATH
+    // just means "no compiler": construction succeeds, available()
+    // is false, and compile() raises the actionable guidance.
+    ScopedEnv cc("UOV_CC", nullptr);
+    ScopedEnv path("PATH", "");
+    JitCompiler jit(freshCacheOptions("probe"));
     EXPECT_FALSE(jit.available());
     try {
         jit.compile(kTrivialKernel);

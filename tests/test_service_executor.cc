@@ -59,7 +59,8 @@ TEST(Executor, RejectsMalformedLines)
         {"query shortest deps [1,x]", "bad dependence"},
         {"query storage deps [1,0]", "storage query needs 'bounds'"},
         {"query shortest bounds 0..3 deps [1,0]",
-         "'bounds' is only valid for storage and native queries"},
+         "'bounds' is only valid for storage, native, and tune "
+        "queries"},
         {"query native deps [1,0]", "native query needs 'bounds'"},
         {"query storage bounds deps [1,0]",
          "'bounds' needs at least one range"},
