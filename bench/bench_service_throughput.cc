@@ -19,51 +19,14 @@
 #include <thread>
 
 #include "bench_common.h"
-#include "fuzz/oracles.h"
+#include "fuzz/workload.h"
 #include "service/executor.h"
-#include "support/rng.h"
 
 using namespace uov;
 using namespace uov::bench;
 using namespace uov::service;
 
 namespace {
-
-/**
- * Distinct queries from the fuzz generators, then a long request list
- * sampling them (~8 requests per distinct query, so the duplicate
- * ratio is high and stable across sizes).
- */
-std::vector<Request>
-makeWorkload(size_t requests, size_t distinct, uint64_t seed)
-{
-    std::vector<Request> pool;
-    SplitMix64 rng(seed);
-    while (pool.size() < distinct) {
-        fuzz::FuzzCase c = fuzz::makeCase(rng.next());
-        if (!c.valid())
-            continue;
-        Request r;
-        r.deps = c.deps;
-        if (pool.size() % 2 == 0) {
-            r.objective = SearchObjective::BoundedStorage;
-            r.isg_lo = c.lo;
-            r.isg_hi = c.hi;
-        } else {
-            r.objective = SearchObjective::ShortestVector;
-        }
-        pool.push_back(std::move(r));
-    }
-
-    std::vector<Request> out;
-    out.reserve(requests);
-    for (size_t i = 0; i < requests; ++i) {
-        Request r = pool[rng.nextBelow(pool.size())];
-        r.index = i + 1;
-        out.push_back(std::move(r));
-    }
-    return out;
-}
 
 double
 qps(size_t requests, double wall_ns)
@@ -84,8 +47,11 @@ main(int argc, char **argv)
     const size_t requests = opt.quick ? 240 : 2000;
     const size_t distinct = opt.quick ? 6 : 24;
     const uint64_t kVisitCap = 50'000;
-    std::vector<Request> workload =
-        makeWorkload(requests, distinct, /*seed=*/42);
+    fuzz::WorkloadOptions wopt;
+    wopt.requests = requests;
+    wopt.distinct = distinct;
+    wopt.seed = 42;
+    std::vector<Request> workload = fuzz::makeWorkload(wopt);
 
     unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     std::vector<unsigned> thread_counts;
@@ -98,7 +64,7 @@ main(int argc, char **argv)
             " requests over " + std::to_string(distinct) +
             " distinct queries");
     t.header({"Threads", "Cold ms", "Cold QPS", "Warm ms", "Warm QPS",
-              "Warm/Cold", "Hit rate %"});
+              "Warm/Cold", "Hit rate %", "p99 us", "p999 us"});
 
     for (unsigned threads : thread_counts) {
         ServiceOptions so;
@@ -125,6 +91,9 @@ main(int argc, char **argv)
                 ? 100.0 * static_cast<double>(st.hits) /
                       static_cast<double>(st.lookups)
                 : 0.0;
+        // Tail latency across both passes, from the service's own
+        // request histogram (what --metrics would report).
+        Histogram &latency = metrics.histogram("service.latency_us");
 
         t.addRow()
             .cell(static_cast<uint64_t>(threads))
@@ -133,7 +102,9 @@ main(int argc, char **argv)
             .cell(warm_ns / 1e6)
             .cell(qps(workload.size(), warm_ns), 0)
             .cell(warm_ns > 0 ? cold_ns / warm_ns : 0.0, 1)
-            .cell(hit_rate, 1);
+            .cell(hit_rate, 1)
+            .cell(latency.percentile(0.99))
+            .cell(latency.percentile(0.999));
     }
     emit(t, opt);
     return 0;

@@ -13,7 +13,8 @@ layout as the paper's Figures 9-14.
 
 Unknown columns are tolerated generically rather than by name:
 per-unit diagnostic columns (any header containing "/", e.g.
-"MEvents/s" or "ns/span") and columns with any non-numeric cell are
+"MEvents/s" or "ns/span", and tail-latency percentile columns such as
+"p99 us" or "p999 us") and columns with any non-numeric cell are
 skipped with a note, so benches may append new diagnostics without
 breaking the plots.
 
@@ -24,14 +25,22 @@ and needs neither matplotlib nor an input file (CI runs it).
 
 import argparse
 import csv
+import re
 import sys
 
 SIZE_HEADERS = {"Length", "Problem Size", "N=M"}
+
+# Tail-latency columns the service benches emit ("p99 us",
+# "p999 us", "p50"...): machine-dependent diagnostics, not
+# paper-figure series.
+PERCENTILE_HEADER = re.compile(r"^p\d+(\.\d+)?\b", re.IGNORECASE)
 
 
 def skip_reason(header, values):
     """Why a column can't be plotted, or None if it can."""
     if "/" in header:
+        return "per-unit diagnostic"
+    if PERCENTILE_HEADER.match(header.strip()):
         return "per-unit diagnostic"
     if any(v is None for v in values):
         return "non-numeric cells"
@@ -66,8 +75,9 @@ def self_test():
     import tempfile
 
     csv_text = (
-        "Length,Tiled,MEvents/s,ns/span,nodes/s,arena KiB,Ragged\n"
-        "64,10,99.5,1.25,552032,1024,1\n"
+        "Length,Tiled,MEvents/s,ns/span,nodes/s,arena KiB,Ragged,"
+        "p99 us,p999 us\n"
+        "64,10,99.5,1.25,552032,1024,1,42,262143\n"
         "128,12,98.0,1.30,673719,2048\n"
     )
     with tempfile.NamedTemporaryFile(
@@ -99,6 +109,15 @@ def self_test():
         == "per-unit diagnostic"
     assert skip_reason("arena KiB", col("arena KiB")) is None
     assert skip_reason("Ragged", col("Ragged")) == "non-numeric cells"
+    # Tail-latency percentile columns are diagnostics whatever their
+    # values -- skipped even where every cell is numeric -- but
+    # percentile-lookalike words ("page MB") still plot.
+    assert skip_reason("p99 us", col("p99 us")) \
+        == "per-unit diagnostic"
+    assert skip_reason("p999 us", col("p999 us")) \
+        == "per-unit diagnostic"
+    assert skip_reason("P50", [1.0]) == "per-unit diagnostic"
+    assert skip_reason("page MB", [1.0]) is None
     assert to_number("1,234") == 1234.0
     assert to_number("n/a") is None
     print("plot_benches self-test: OK")

@@ -36,6 +36,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -68,6 +69,17 @@ usage(std::ostream &os)
         "  --cache-shards N  cache stripe count (default 16)\n"
         "  --no-cache        disable the result cache\n"
         "  --max-visits N    branch-and-bound visit cap per query\n"
+        "  --store FILE      persistent result store: append-only\n"
+        "                    checksummed log, preloaded at startup so\n"
+        "                    a restarted daemon answers its corpus\n"
+        "                    with zero searches (torn tails truncated)\n"
+        "  --shed-high N     shed load past N queued requests: answer\n"
+        "                    with the certified ov_o floor\n"
+        "                    (degraded=shed) instead of queueing\n"
+        "                    (0 = disabled, the default)\n"
+        "  --shed-low N      stop shedding once the queue drains to N\n"
+        "                    (default: shed-high / 2; the hysteresis\n"
+        "                    band)\n"
         "  --request-deadline-ms N  default per-request deadline\n"
         "                    (lines may override with 'deadline_ms N';\n"
         "                    -1 = unbounded, 0 = degrade immediately)\n"
@@ -113,6 +125,7 @@ main(int argc, char **argv)
     bool dump_metrics = false;
     int64_t request_deadline_ms = -1;
     ServiceOptions options;
+    AdmissionOptions admission_options;
 
     auto next_arg = [&](int &i, const char *flag) -> std::string {
         if (i + 1 >= argc) {
@@ -151,6 +164,14 @@ main(int argc, char **argv)
             } else if (a == "--max-visits") {
                 options.max_visits =
                     std::stoull(next_arg(i, "--max-visits"));
+            } else if (a == "--store") {
+                options.store_path = next_arg(i, "--store");
+            } else if (a == "--shed-high") {
+                admission_options.high_water =
+                    std::stoll(next_arg(i, "--shed-high"));
+            } else if (a == "--shed-low") {
+                admission_options.low_water =
+                    std::stoll(next_arg(i, "--shed-low"));
             } else if (a == "--request-deadline-ms") {
                 request_deadline_ms =
                     std::stoll(next_arg(i, "--request-deadline-ms"));
@@ -227,9 +248,13 @@ main(int argc, char **argv)
     MetricsRegistry metrics;
     QueryService svc(options, metrics);
     ThreadPool pool(threads);
+    std::unique_ptr<AdmissionController> admission;
+    if (admission_options.high_water > 0)
+        admission = std::make_unique<AdmissionController>(
+            admission_options, metrics);
     std::vector<std::string> responses;
     try {
-        responses = runBatch(svc, requests, pool);
+        responses = runBatch(svc, requests, pool, admission.get());
     } catch (const UovError &e) {
         std::cerr << "uovd: " << e.what() << "\n";
         return 2;

@@ -43,7 +43,7 @@ usage()
         "(default 1)\n"
         "  --iters N       random cases to run (default 100)\n"
         "  --oracle NAME   membership|search|mapping|streaming|"
-        "service|fault|codegen|tune\n"
+        "service|fault|codegen|tune|durability\n"
         "                  (default: all)\n"
         "  --shrink        minimize failing cases (default)\n"
         "  --no-shrink     report failures unminimized\n"

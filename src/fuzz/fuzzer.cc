@@ -30,6 +30,8 @@ oracleName(OracleKind kind)
         return "codegen";
       case OracleKind::Tune:
         return "tune";
+      case OracleKind::Durability:
+        return "durability";
     }
     UOV_UNREACHABLE("bad oracle kind");
 }
@@ -41,7 +43,8 @@ parseOracleName(const std::string &name)
          {OracleKind::Membership, OracleKind::Search,
           OracleKind::Mapping, OracleKind::Streaming,
           OracleKind::Service, OracleKind::Fault,
-          OracleKind::Codegen, OracleKind::Tune}) {
+          OracleKind::Codegen, OracleKind::Tune,
+          OracleKind::Durability}) {
         if (name == oracleName(k))
             return k;
     }
@@ -69,6 +72,8 @@ runOracle(OracleKind kind, const FuzzCase &c)
             return checkCodegen(c);
           case OracleKind::Tune:
             return checkTune(c);
+          case OracleKind::Durability:
+            return checkDurability(c);
         }
         UOV_UNREACHABLE("bad oracle kind");
     } catch (const UovError &e) {
@@ -91,7 +96,8 @@ namespace {
 /** The stencil-shaped oracles a corpus nest exercises. */
 constexpr OracleKind kCorpusOracles[] = {
     OracleKind::Membership, OracleKind::Search, OracleKind::Mapping,
-    OracleKind::Service, OracleKind::Codegen, OracleKind::Tune};
+    OracleKind::Service, OracleKind::Codegen, OracleKind::Tune,
+    OracleKind::Durability};
 
 void
 recordFailure(FuzzReport &report, const FuzzOptions &opt,

@@ -1,7 +1,7 @@
 /**
  * @file
  * The differential fuzzing harness: corpus replay + seeded random
- * sweep over the eight oracle families, with automatic shrinking of
+ * sweep over the nine oracle families, with automatic shrinking of
  * anything that fails.
  *
  * One harness serves three masters: the uovfuzz CLI (soak runs and
@@ -27,7 +27,7 @@
 namespace uov {
 namespace fuzz {
 
-/** The eight differential oracle families. */
+/** The nine differential oracle families. */
 enum class OracleKind
 {
     Membership, ///< isUov vs DONE/DEAD vs brute force vs certificates
@@ -38,15 +38,16 @@ enum class OracleKind
     Fault,      ///< batches under fail points and random deadlines
     Codegen,    ///< JIT-compiled kernels vs the interpreter oracle
     Tune,       ///< autotuner legality/determinism/anytime contracts
+    Durability, ///< store crash/replay prefixes + shed-answer legality
 };
 
 /** Number of OracleKind values (the random sweep cycles them all). */
-constexpr size_t kOracleKindCount = 8;
+constexpr size_t kOracleKindCount = 9;
 
 const char *oracleName(OracleKind kind);
 
 /** Parse "membership" | "search" | "mapping" | "streaming" |
- *  "service" | "fault" | "codegen" | "tune". */
+ *  "service" | "fault" | "codegen" | "tune" | "durability". */
 std::optional<OracleKind> parseOracleName(const std::string &name);
 
 /** Harness configuration. */
@@ -54,7 +55,7 @@ struct FuzzOptions
 {
     uint64_t seed = 1;
     uint64_t iters = 100;
-    /** Restrict to one oracle; nullopt cycles through all eight. */
+    /** Restrict to one oracle; nullopt cycles through all nine. */
     std::optional<OracleKind> only;
     bool shrink = true;
     GenOptions gen;

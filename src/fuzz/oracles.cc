@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <sstream>
 #include <unordered_set>
+
+#include <unistd.h>
 
 #include "analysis/dependence.h"
 #include "codegen/codegen.h"
@@ -21,6 +25,7 @@
 #include "mapping/storage_mapping.h"
 #include "schedule/executor.h"
 #include "service/executor.h"
+#include "service/store.h"
 #include "sim/streaming.h"
 #include "sim/trace.h"
 #include "support/error.h"
@@ -1174,6 +1179,405 @@ checkTune(const FuzzCase &c)
             return "JIT-evaluated tune returned an unevaluated or "
                    "illegal winner: " +
                    timed.best.str() + " over " + s.str();
+    }
+
+    return std::nullopt;
+}
+
+OracleVerdict
+checkDurability(const FuzzCase &c)
+{
+    if (!c.valid())
+        return std::nullopt;
+    namespace fs = std::filesystem;
+
+    // Everything stochastic -- fail-point streams, crash cut points,
+    // flipped bits -- derives from the case seed: any failure replays
+    // from the printed seed alone.
+    SplitMix64 rng(c.seed ^ 0xd04ab1e5ULL);
+    constexpr uint64_t kVisitCap = 2'000;
+    Stencil s = c.stencil();
+    UovOracle oracle(s);
+
+    std::string base =
+        (fs::temp_directory_path() /
+         ("uov-durability-" + std::to_string(::getpid()) + "-" +
+          std::to_string(c.seed)))
+            .string();
+    std::string store_path = base + ".log";
+    std::string crash_path = base + ".crash";
+    std::string svc_path = base + ".svc";
+    struct Cleanup
+    {
+        std::vector<std::string> paths;
+        ~Cleanup()
+        {
+            for (const auto &p : paths) {
+                std::error_code ec;
+                std::filesystem::remove(p, ec);
+            }
+        }
+    } cleanup{{store_path, crash_path, svc_path}};
+
+    // --- Phase 1: acknowledged-exactly under failing writes. -------
+    // Solve a small corpus once, then append it twice (the second
+    // pass exercises last-record-wins) with store_write/store_fsync
+    // armed; acknowledged appends and only those must survive.
+    struct Solved
+    {
+        service::CanonicalKey key;
+        service::ServiceAnswer answer;
+    };
+    std::vector<Solved> corpus;
+    Stencil canon = service::canonicalizeStencil(s);
+    for (SearchObjective obj : {SearchObjective::ShortestVector,
+                                SearchObjective::BoundedStorage}) {
+        for (int64_t deadline : {int64_t{-1}, int64_t{0}}) {
+            std::optional<IVec> lo, hi;
+            if (obj == SearchObjective::BoundedStorage) {
+                lo = c.lo;
+                hi = c.hi;
+            }
+            SearchBudget budget;
+            budget.max_nodes = kVisitCap;
+            budget.deadline = Deadline::afterMillis(deadline);
+            corpus.push_back(
+                {service::makeKey(canon, obj, lo, hi, deadline),
+                 service::solveCanonical(canon, obj, lo, hi, budget)});
+        }
+    }
+
+    std::vector<std::string> acknowledged; // encoded payloads in order
+    uint64_t rolled_back = 0;
+    {
+        failpoint::ScopedFailPoints scope;
+        for (const char *site : {"store_write", "store_fsync"}) {
+            failpoint::Config config;
+            config.probability = 0.4;
+            config.seed = rng.next();
+            config.action = failpoint::Action::Throw;
+            failpoint::Registry::instance().arm(site, config);
+        }
+        service::ResultStore store(store_path);
+        for (int pass = 0; pass < 2; ++pass) {
+            for (const Solved &e : corpus) {
+                if (store.append(e.key, e.answer))
+                    acknowledged.push_back(
+                        service::ResultStore::encodePayload(e.key,
+                                                            e.answer));
+                else
+                    ++rolled_back;
+            }
+        }
+        auto st = store.stats();
+        if (st.appends != acknowledged.size() ||
+            st.append_errors != rolled_back)
+            return "store counted " + std::to_string(st.appends) +
+                   " appends / " + std::to_string(st.append_errors) +
+                   " errors but the caller saw " +
+                   std::to_string(acknowledged.size()) + " / " +
+                   std::to_string(rolled_back);
+    }
+
+    auto rawPayloads = [](const service::ResultStore &store) {
+        std::vector<std::string> out;
+        store.forEachRaw([&](const service::CanonicalKey &k,
+                             const service::ServiceAnswer &a) {
+            out.push_back(
+                service::ResultStore::encodePayload(k, a));
+        });
+        return out;
+    };
+    auto isPrefix = [&](const std::vector<std::string> &records) {
+        if (records.size() > acknowledged.size())
+            return false;
+        for (size_t i = 0; i < records.size(); ++i)
+            if (records[i] != acknowledged[i])
+                return false;
+        return true;
+    };
+
+    {
+        service::ResultStore reopened(store_path);
+        if (reopened.stats().truncated_bytes != 0)
+            return "cleanly closed store lost " +
+                   std::to_string(reopened.stats().truncated_bytes) +
+                   " bytes on reopen";
+        if (rawPayloads(reopened) != acknowledged)
+            return "reopened store is not exactly the acknowledged "
+                   "append sequence (" +
+                   std::to_string(reopened.stats().records_loaded) +
+                   " records vs " +
+                   std::to_string(acknowledged.size()) +
+                   " acknowledged)";
+    }
+
+    // --- Phase 2: kill -9 leaves a checksummed prefix. --------------
+    // Truncate a copy of the log at an arbitrary byte (a crash tears
+    // whatever it tears); the reopened store must hold a prefix of
+    // the acknowledged sequence, and the tmp+rename repair must be
+    // idempotent.
+    uint64_t file_size = fs::file_size(store_path);
+    for (int drill = 0; drill < 3; ++drill) {
+        std::error_code ec;
+        fs::copy_file(store_path, crash_path,
+                      fs::copy_options::overwrite_existing, ec);
+        if (ec)
+            return "cannot stage crash copy: " + ec.message();
+        uint64_t cut = rng.nextBelow(file_size + 1);
+        fs::resize_file(crash_path, cut, ec);
+        if (ec)
+            return "cannot truncate crash copy: " + ec.message();
+        std::vector<std::string> records;
+        {
+            service::ResultStore crashed(crash_path);
+            records = rawPayloads(crashed);
+        }
+        if (!isPrefix(records))
+            return "log cut at byte " + std::to_string(cut) +
+                   " reopened to a non-prefix of the " +
+                   std::to_string(acknowledged.size()) +
+                   " acknowledged records";
+        service::ResultStore again(crash_path);
+        if (again.stats().truncated_bytes != 0)
+            return "torn-tail repair was not idempotent at cut " +
+                   std::to_string(cut);
+        if (rawPayloads(again) != records)
+            return "repaired log changed records at cut " +
+                   std::to_string(cut);
+    }
+
+    // --- Phase 3: corruption is detected, never served. -------------
+    if (file_size > 8 && !acknowledged.empty()) {
+        std::error_code ec;
+        fs::copy_file(store_path, crash_path,
+                      fs::copy_options::overwrite_existing, ec);
+        uint64_t at = 8 + rng.nextBelow(file_size - 8);
+        {
+            std::fstream f(crash_path, std::ios::in | std::ios::out |
+                                           std::ios::binary);
+            f.seekg(static_cast<std::streamoff>(at));
+            char byte = 0;
+            f.read(&byte, 1);
+            byte = static_cast<char>(
+                byte ^ (1u << rng.nextBelow(8)));
+            f.seekp(static_cast<std::streamoff>(at));
+            f.write(&byte, 1);
+        }
+        service::ResultStore corrupted(crash_path);
+        auto records = rawPayloads(corrupted);
+        if (!isPrefix(records) ||
+            records.size() >= acknowledged.size())
+            return "byte flipped at " + std::to_string(at) +
+                   " survived the checksum: " +
+                   std::to_string(records.size()) + " of " +
+                   std::to_string(acknowledged.size()) +
+                   " records served";
+    }
+
+    // --- Phase 4: restarted service, zero searches, same bytes. -----
+    std::vector<IVec> rev(c.deps.rbegin(), c.deps.rend());
+    std::vector<IVec> dup = c.deps;
+    dup.push_back(c.deps.front());
+    std::vector<service::Request> reqs;
+    auto add = [&](std::vector<IVec> deps, SearchObjective obj,
+                   int64_t deadline) {
+        service::Request r;
+        r.index = reqs.size() + 1;
+        r.deps = std::move(deps);
+        r.objective = obj;
+        r.deadline_ms = deadline;
+        if (obj == SearchObjective::BoundedStorage) {
+            r.isg_lo = c.lo;
+            r.isg_hi = c.hi;
+        }
+        reqs.push_back(std::move(r));
+    };
+    for (SearchObjective obj : {SearchObjective::ShortestVector,
+                                SearchObjective::BoundedStorage}) {
+        add(c.deps, obj, -1);
+        add(rev, obj, 0);
+        add(dup, obj, -1);
+    }
+    size_t solve_requests = reqs.size();
+    reqs.push_back(service::parseRequestLine("query bogus",
+                                             reqs.size() + 1));
+
+    std::vector<std::string> direct =
+        service::runBatchDirect(reqs, kVisitCap);
+    std::vector<std::string> first;
+    {
+        service::ServiceOptions so;
+        so.max_visits = kVisitCap;
+        so.store_path = svc_path;
+        service::MetricsRegistry metrics;
+        service::QueryService svc(so, metrics);
+        ThreadPool pool(2);
+        first = service::runBatch(svc, reqs, pool);
+        for (size_t i = 0; i < reqs.size(); ++i)
+            if (first[i] != direct[i])
+                return "store-backed service answered '" + first[i] +
+                       "' but direct said '" + direct[i] + "'";
+    }
+    {
+        service::ServiceOptions so;
+        so.max_visits = kVisitCap;
+        so.store_path = svc_path;
+        // Half the cases restart cache-less, forcing every hit to
+        // come from the store itself rather than the preload.
+        if (rng.nextBelow(2) == 0)
+            so.cache_bytes = 0;
+        service::MetricsRegistry metrics;
+        service::QueryService svc(so, metrics);
+        ThreadPool pool(2);
+        std::vector<std::string> second =
+            service::runBatch(svc, reqs, pool);
+        for (size_t i = 0; i < reqs.size(); ++i)
+            if (second[i] != first[i])
+                return "restarted store-backed service diverged: '" +
+                       second[i] + "' vs '" + first[i] + "'";
+        if (svc.searchesExecuted() != 0)
+            return "restarted service re-ran " +
+                   std::to_string(svc.searchesExecuted()) +
+                   " searches instead of answering from the store";
+    }
+
+    // --- Phase 5: an unopenable store degrades, not an outage. ------
+    {
+        failpoint::ScopedFailPoints scope;
+        failpoint::Config config;
+        config.probability = 1.0;
+        config.seed = rng.next();
+        config.action = failpoint::Action::Throw;
+        failpoint::Registry::instance().arm("store_open", config);
+        service::ServiceOptions so;
+        so.max_visits = kVisitCap;
+        so.store_path = svc_path;
+        service::MetricsRegistry metrics;
+        service::QueryService svc(so, metrics);
+        if (metrics.counter("service.store.open_errors").value() != 1)
+            return "store_open failure was not degraded to storeless "
+                   "operation";
+        ThreadPool pool(2);
+        std::vector<std::string> got =
+            service::runBatch(svc, reqs, pool);
+        for (size_t i = 0; i < reqs.size(); ++i)
+            if (got[i] != direct[i])
+                return "storeless-degraded service answered '" +
+                       got[i] + "' but direct said '" + direct[i] +
+                       "'";
+    }
+
+    // --- Phase 6: shed responses are legal certified answers. -------
+    for (const service::Request &r : reqs) {
+        if (!r.error.empty())
+            continue;
+        std::string line = service::shedRequest(r);
+        if (line.find(" degraded=shed") == std::string::npos)
+            return "shed response lacks degraded=shed: '" + line + "'";
+        auto best = parseBestVector(line);
+        auto value = parseField(line, "value");
+        auto initial = parseField(line, "initial");
+        if (!best || !value || !initial)
+            return "unparsable shed response '" + line + "'";
+        if (!oracle.isUov(*best))
+            return "shed response '" + line +
+                   "' is not universal for " + s.str();
+        if (*value > *initial)
+            return "shed response '" + line +
+                   "' is worse than the ov_o floor";
+    }
+    {
+        service::MetricsRegistry metrics;
+        service::AdmissionOptions ao;
+        ao.high_water = 1;
+        service::AdmissionController admission(ao, metrics);
+        service::ServiceOptions so;
+        so.max_visits = kVisitCap;
+        service::QueryService svc(so, metrics);
+        ThreadPool pool(1 + static_cast<unsigned>(rng.nextBelow(4)));
+        std::vector<std::string> got =
+            service::runBatch(svc, reqs, pool, &admission);
+        for (size_t i = 0; i < got.size(); ++i) {
+            const std::string &line = got[i];
+            std::string idx = std::to_string(i + 1);
+            bool is_answer =
+                line.rfind("answer " + idx + " ", 0) == 0;
+            bool is_error = line.rfind("error " + idx + " ", 0) == 0;
+            if (!is_answer && !is_error)
+                return "shed-batch response " + idx +
+                       " is mis-ordered or mangled: '" + line + "'";
+            if (i >= solve_requests) {
+                if (is_answer)
+                    return "bad request " + idx +
+                           " drew an answer under shedding";
+                continue;
+            }
+            if (!is_answer)
+                return "shed-batch request " + idx +
+                       " drew an error: '" + line + "'";
+            auto best = parseBestVector(line);
+            auto value = parseField(line, "value");
+            auto initial = parseField(line, "initial");
+            if (!best || !value || !initial)
+                return "unparsable shed-batch answer '" + line + "'";
+            if (!oracle.isUov(*best))
+                return "shed-batch answer '" + line +
+                       "' is not universal for " + s.str();
+            if (*value > *initial)
+                return "shed-batch answer '" + line +
+                       "' is worse than the ov_o floor";
+        }
+        uint64_t optimal = metrics.counter("service.optimal").value();
+        uint64_t degraded =
+            metrics.counter("service.degraded").value();
+        uint64_t errors =
+            metrics.counter("service.request_errors").value();
+        if (optimal + degraded + errors != reqs.size())
+            return "shed batch: optimal " + std::to_string(optimal) +
+                   " + degraded " + std::to_string(degraded) +
+                   " + request_errors " + std::to_string(errors) +
+                   " != " + std::to_string(reqs.size()) + " requests";
+        uint64_t admitted =
+            metrics.counter("service.shed.admitted").value();
+        uint64_t shed =
+            metrics.counter("service.shed.responses").value();
+        if (admitted + shed != solve_requests)
+            return "admission decisions " +
+                   std::to_string(admitted + shed) +
+                   " != " + std::to_string(solve_requests) +
+                   " solve requests";
+    }
+
+    // --- Phase 7: a throwing admission site is one error line. ------
+    {
+        failpoint::ScopedFailPoints scope;
+        failpoint::Config config;
+        config.probability = 1.0;
+        config.seed = rng.next();
+        config.action = failpoint::Action::Throw;
+        failpoint::Registry::instance().arm("admission", config);
+        service::MetricsRegistry metrics;
+        service::AdmissionOptions ao;
+        ao.high_water = 4;
+        service::AdmissionController admission(ao, metrics);
+        service::ServiceOptions so;
+        so.max_visits = kVisitCap;
+        service::QueryService svc(so, metrics);
+        ThreadPool pool(2);
+        std::vector<std::string> got =
+            service::runBatch(svc, reqs, pool, &admission);
+        for (size_t i = 0; i < solve_requests; ++i)
+            if (got[i].rfind("error ", 0) != 0)
+                return "admission fail point did not isolate request " +
+                       std::to_string(i + 1) + ": '" + got[i] + "'";
+        uint64_t optimal = metrics.counter("service.optimal").value();
+        uint64_t degraded =
+            metrics.counter("service.degraded").value();
+        uint64_t errors =
+            metrics.counter("service.request_errors").value();
+        if (optimal + degraded + errors != reqs.size())
+            return "admission-fault batch counters do not reconcile";
     }
 
     return std::nullopt;

@@ -33,6 +33,12 @@
  *    must still return a legal certified Degraded best, and (with a
  *    host compiler) JIT-measured candidates are bit-exact against the
  *    interpreter by construction.
+ *  - Durability: the persistent result store under injected write and
+ *    fsync failures, byte-level crash truncation, and corruption --
+ *    the reopened log is always exactly the acknowledged appends or a
+ *    checksummed prefix of them; a restarted service replays its
+ *    batch byte-identically with zero searches; shed responses are
+ *    certified answers and the response classes reconcile.
  *
  * An oracle returns std::nullopt when every cross-check agrees, or a
  * description of the first discrepancy.  Exceptions escaping an
@@ -138,6 +144,23 @@ OracleVerdict checkCodegen(const FuzzCase &c);
  * pipeline rejects the case shape (not a tuner bug).
  */
 OracleVerdict checkTune(const FuzzCase &c);
+
+/**
+ * Durability oracle: drives the persistent ResultStore and the
+ * admission-control shed path through seed-derived crashes and write
+ * failures.  Asserts the recovery contract rather than liveness:
+ * with `store_write`/`store_fsync` fail points armed, the reopened
+ * log holds exactly the acknowledged appends (rolled-back appends
+ * leave no trace); a simulated kill -9 (the log truncated at an
+ * arbitrary byte) or a flipped byte reopens to a checksummed *prefix*
+ * of the acknowledged sequence, repaired idempotently; a restarted
+ * QueryService over the store answers the same batch byte-identically
+ * with zero branch-and-bound searches; an unopenable store degrades
+ * to storeless service, not an outage; and every shed response is a
+ * certified isUov answer no worse than ov_o with the
+ * optimal/degraded/error counters still reconciling.
+ */
+OracleVerdict checkDurability(const FuzzCase &c);
 
 /**
  * Independent reference for non-negative integer cone membership:

@@ -525,9 +525,76 @@ Watchdog::flagOverdue()
     return flagged;
 }
 
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         MetricsRegistry &metrics)
+    : _options(options),
+      _admitted(metrics.counter("service.shed.admitted")),
+      _responses(metrics.counter("service.shed.responses")),
+      _engaged(metrics.counter("service.shed.engaged")),
+      _recovered(metrics.counter("service.shed.recovered")),
+      _active(metrics.gauge("service.shed.active"))
+{
+    if (_options.low_water < 0)
+        _options.low_water = _options.high_water / 2;
+    if (_options.low_water >= _options.high_water)
+        _options.low_water =
+            _options.high_water > 0 ? _options.high_water - 1 : 0;
+}
+
+bool
+AdmissionController::admit(int64_t queue_depth)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_options.high_water <= 0) {
+        _admitted.inc();
+        return true;
+    }
+    if (!_shedding && queue_depth >= _options.high_water) {
+        _shedding = true;
+        _engaged.inc();
+        _active.set(1);
+    } else if (_shedding && queue_depth <= _options.low_water) {
+        _shedding = false;
+        _recovered.inc();
+        _active.set(0);
+    }
+    if (_shedding) {
+        _responses.inc();
+        return false;
+    }
+    _admitted.inc();
+    return true;
+}
+
+bool
+AdmissionController::shedding() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _shedding;
+}
+
+std::string
+shedRequest(const Request &request)
+{
+    return answerRequest(request, [&](const Stencil &s) {
+        // The PR 4 anytime floor: a zero-node budget deterministically
+        // returns the certified ov_o incumbent without expanding a
+        // single search node -- exactly what an overloaded server can
+        // afford.
+        SearchBudget budget;
+        budget.max_nodes = 0;
+        ServiceAnswer answer =
+            solveDirect(s, request.objective, request.isg_lo,
+                        request.isg_hi, budget);
+        answer.degraded = true;
+        answer.degraded_reason = "shed";
+        return answer;
+    });
+}
+
 std::vector<std::string>
 runBatch(QueryService &service, const std::vector<Request> &requests,
-         ThreadPool &pool)
+         ThreadPool &pool, AdmissionController *admission)
 {
     std::vector<std::string> responses(requests.size());
     Gauge &depth = service.metrics().gauge("service.queue_depth");
@@ -541,6 +608,25 @@ runBatch(QueryService &service, const std::vector<Request> &requests,
     std::vector<std::future<void>> futures;
     futures.reserve(requests.size());
     for (size_t i = 0; i < requests.size(); ++i) {
+        // Admission decision happens on the submitting thread, before
+        // the request touches the queue: a shed request is answered
+        // inline with the certified ov_o floor and never enqueued.
+        const Request &to_submit = requests[i];
+        if (admission != nullptr && !to_submit.native &&
+            !to_submit.tune && to_submit.error.empty()) {
+            try {
+                failpoint::fire("admission");
+            } catch (const std::exception &e) {
+                responses[i] = "error " +
+                               std::to_string(to_submit.index) + " " +
+                               e.what();
+                continue;
+            }
+            if (!admission->admit(depth.value())) {
+                responses[i] = shedRequest(to_submit);
+                continue;
+            }
+        }
         depth.add(1);
         auto enqueued = Deadline::Clock::now();
         futures.push_back(pool.submit([&service, &requests, &responses,

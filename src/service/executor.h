@@ -175,6 +175,77 @@ std::string runNativeRequest(const Request &request);
  */
 std::string runTuneRequest(const Request &request);
 
+/** Admission-control configuration. */
+struct AdmissionOptions
+{
+    /**
+     * Engage shedding when service.queue_depth reaches this many
+     * in-flight requests; 0 disables admission control entirely.
+     */
+    int64_t high_water = 0;
+    /**
+     * Disengage once depth falls back to this level; -1 means
+     * high_water / 2.  The gap is the hysteresis band -- without it a
+     * queue hovering at the high-water mark would flap between
+     * admitting and shedding on every request.
+     */
+    int64_t low_water = -1;
+};
+
+/**
+ * Overload policy for the batch executor: past the high-water mark,
+ * new solve requests are answered *inline* with the certified ov_o
+ * anytime floor (a zero-node-budget solveDirect, degraded_reason
+ * "shed") instead of being queued -- the caller still gets a legal,
+ * certified UOV, just not an optimized one, and the queue cannot grow
+ * without bound.  Native/tune requests and parse errors bypass
+ * admission (they never enter the solver queue's cost model).
+ *
+ * Metrics: counters service.shed.admitted / .responses (shed answers
+ * served) / .engaged / .recovered (hysteresis transitions) and gauge
+ * service.shed.active.  Thread-safe; one controller may serve many
+ * batches.
+ *
+ * Shedding makes *which* requests degrade timing-dependent, so a batch
+ * run with a controller attached is exempt from the byte-determinism
+ * contract -- every individual line is still either a certified answer
+ * or a deterministic error line.
+ */
+class AdmissionController
+{
+  public:
+    AdmissionController(AdmissionOptions options,
+                        MetricsRegistry &metrics);
+
+    /**
+     * Decide one request's fate given the current queue depth.
+     * True = admit (enqueue normally); false = shed.
+     */
+    bool admit(int64_t queue_depth);
+
+    /** Currently past the high-water mark (test introspection). */
+    bool shedding() const;
+
+    const AdmissionOptions &options() const { return _options; }
+
+  private:
+    AdmissionOptions _options;
+    mutable std::mutex _mutex;
+    bool _shedding = false;
+    Counter &_admitted;
+    Counter &_responses;
+    Counter &_engaged;
+    Counter &_recovered;
+    Gauge &_active;
+};
+
+/**
+ * Build the inline shed response for @p request: the certified ov_o
+ * seed (zero-node search budget) marked degraded=shed.  Exposed so
+ * tests and the durability oracle can assert shed-answer legality.
+ */
+std::string shedRequest(const Request &request);
+
 /**
  * Answer a batch on @p pool (requests fan out; identical in-flight
  * queries coalesce inside the service).  Responses are returned in
@@ -187,10 +258,15 @@ std::string runTuneRequest(const Request &request);
  * is classified into exactly one of the "service.optimal",
  * "service.degraded", or "service.request_errors" counters, so the
  * three always sum to the batch size.
+ *
+ * @p admission, when non-null, applies overload shedding to solve
+ * requests (see AdmissionController); the fail-point site "admission"
+ * fires per admission decision.
  */
 std::vector<std::string> runBatch(QueryService &service,
                                   const std::vector<Request> &requests,
-                                  ThreadPool &pool);
+                                  ThreadPool &pool,
+                                  AdmissionController *admission = nullptr);
 
 /** Single-threaded reference executor (no pool, no service state). */
 std::vector<std::string>

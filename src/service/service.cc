@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "support/failpoint.h"
+#include "support/logging.h"
 #include "support/trace.h"
 
 namespace uov {
@@ -19,6 +20,23 @@ QueryService::QueryService(ServiceOptions options,
       _timeouts(metrics.counter("service.timeouts")),
       _latency_us(metrics.histogram("service.latency_us"))
 {
+    if (_options.store_path.empty())
+        return;
+    // An unopenable store degrades to storeless operation: durability
+    // is an amenity, availability is the contract.
+    try {
+        _store = std::make_unique<ResultStore>(_options.store_path,
+                                               &metrics);
+    } catch (const UovError &e) {
+        UOV_LOG_WARN("service: store '" << _options.store_path
+                     << "' unusable, running storeless: " << e.what());
+        _metrics.counter("service.store.open_errors").inc();
+        return;
+    }
+    if (_options.cache_bytes > 0) {
+        size_t n = _store->preload(_cache);
+        _metrics.counter("service.store.preloaded").inc(n);
+    }
 }
 
 ServiceAnswer
@@ -55,6 +73,21 @@ QueryService::query(const Stencil &stencil, SearchObjective objective,
         span.arg("hit", static_cast<int64_t>(cached ? 1 : 0));
         if (cached)
             return finish(*cached);
+    }
+
+    // Disk store: a persisted answer short-circuits the search exactly
+    // like a cache hit (and re-warms the cache so the next hit is
+    // memory-speed).  Checked before single-flight -- a store hit needs
+    // no dedup.
+    if (_store) {
+        trace::Span span("service.store.lookup");
+        auto stored = _store->lookup(key);
+        span.arg("hit", static_cast<int64_t>(stored ? 1 : 0));
+        if (stored) {
+            if (use_cache)
+                _cache.insert(key, *stored);
+            return finish(*stored);
+        }
     }
 
     // Single-flight: claim the key or join the thread computing it.
@@ -101,6 +134,11 @@ QueryService::query(const Stencil &stencil, SearchObjective objective,
             failpoint::fire("cache_insert");
             _cache.insert(key, answer);
         }
+        // Persist after the search; a rolled-back append (fail point,
+        // full disk) costs durability for this one answer, not the
+        // answer itself.
+        if (_store)
+            _store->append(key, answer);
     } catch (...) {
         error = std::current_exception();
     }

@@ -34,6 +34,7 @@
 #include "service/canonical.h"
 #include "service/metrics.h"
 #include "service/result_cache.h"
+#include "service/store.h"
 
 namespace uov {
 namespace service {
@@ -47,6 +48,16 @@ struct ServiceOptions
     size_t cache_shards = 16;
     /** Branch-and-bound node budget per query (anytime answers). */
     uint64_t max_visits = 10'000'000;
+    /**
+     * Persistent result-store path; empty disables durability.  When
+     * set, the store is opened (torn tails truncated), preloaded into
+     * the cache, consulted on every cache miss, and appended to after
+     * every search -- a restarted daemon answers its corpus from disk
+     * with zero searches.  An unopenable store degrades to storeless
+     * operation with a warning (counter service.store.open_errors);
+     * it never takes the service down.
+     */
+    std::string store_path;
 };
 
 class QueryService
@@ -81,6 +92,8 @@ class QueryService
     ResultCache::Stats cacheStats() const { return _cache.stats(); }
     MetricsRegistry &metrics() { return _metrics; }
     const ServiceOptions &options() const { return _options; }
+    /** Null when no store was configured or it failed to open. */
+    const ResultStore *store() const { return _store.get(); }
 
   private:
     /** One in-flight computation; waiters block on cv until done. */
@@ -96,6 +109,7 @@ class QueryService
     ServiceOptions _options;
     MetricsRegistry &_metrics;
     ResultCache _cache;
+    std::unique_ptr<ResultStore> _store;
 
     std::mutex _flights_mutex;
     std::unordered_map<CanonicalKey, std::shared_ptr<Flight>,

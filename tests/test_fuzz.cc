@@ -180,9 +180,9 @@ TEST(FuzzHarness, CorpusDirectoryReplays)
     FuzzReport r = runFuzzer(opt);
     EXPECT_TRUE(r.ok()) << r.str();
     EXPECT_EQ(r.corpus_cases, 3u);
-    // Six stencil-shaped oracles per corpus nest (membership,
-    // search, mapping, service, codegen, tune).
-    EXPECT_EQ(r.oracle_runs, 18u);
+    // Seven stencil-shaped oracles per corpus nest (membership,
+    // search, mapping, service, codegen, tune, durability).
+    EXPECT_EQ(r.oracle_runs, 21u);
 }
 
 TEST(FuzzHarness, MissingCorpusFileIsAFailure)
