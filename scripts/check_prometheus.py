@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (0.0.4) document.
+
+Validates what a scraper actually depends on:
+
+  * metric and label names match the Prometheus grammar
+    ([a-zA-Z_:][a-zA-Z0-9_:]*, labels without the colon);
+  * every sample line parses (name, optional labels, numeric value);
+  * every series is preceded by a # TYPE for its family, and counter
+    family names end in _total;
+  * label values escape backslash, double-quote, and newline;
+  * histogram families are well-formed: cumulative non-decreasing
+    _bucket counts in le order, a final le="+Inf" bucket, and
+    _count == the +Inf bucket count;
+  * no duplicate series (same name + label set twice).
+
+Usage:
+    check_prometheus.py FILE [FILE ...]
+    curl -s localhost:PORT/metrics | check_prometheus.py -
+    check_prometheus.py --self-test
+
+Exit status 0 when every input passes, 1 otherwise.  Prints one
+summary line per input so CI logs show what was validated.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value  -- labels optional; value is the rest.
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)$")
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def bad_escape(value):
+    """True when a backslash escapes anything but \\, ", or n."""
+    i = 0
+    while i < len(value):
+        if value[i] == "\\":
+            if i + 1 >= len(value) or value[i + 1] not in '\\"n':
+                return True
+            i += 2
+        else:
+            i += 1
+    return False
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf"))
+    return float(text)
+
+
+def family_of(name):
+    """The family a series belongs to (strip histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_exposition(text, label):
+    errors = []
+    types = {}          # family -> declared type
+    seen_series = set() # (name, sorted label items)
+    histograms = {}     # family -> list of (le, count)
+    hist_counts = {}    # family -> _count value
+    samples = 0
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"{lineno}: malformed TYPE line: {line!r}")
+                continue
+            _, _, name, kind = parts
+            if not METRIC_NAME.match(name):
+                errors.append(f"{lineno}: bad metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram",
+                            "summary", "untyped"):
+                errors.append(f"{lineno}: unknown type {kind!r}")
+            if kind == "counter" and not name.endswith("_total"):
+                errors.append(
+                    f"{lineno}: counter {name!r} should end in _total")
+            if name in types:
+                errors.append(f"{lineno}: duplicate TYPE for {name!r}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP or comment
+
+        m = SAMPLE.match(line)
+        if not m:
+            errors.append(f"{lineno}: unparsable sample: {line!r}")
+            continue
+        name, _, labeltext, valuetext = m.groups()
+        samples += 1
+        labels = []
+        if labeltext:
+            consumed = 0
+            for pair in LABEL_PAIR.finditer(labeltext):
+                lname, lvalue = pair.groups()
+                if not LABEL_NAME.match(lname):
+                    errors.append(f"{lineno}: bad label name {lname!r}")
+                if bad_escape(lvalue):
+                    errors.append(
+                        f"{lineno}: bad escape in label value {lvalue!r}")
+                labels.append((lname, lvalue))
+                consumed = pair.end()
+            rest = labeltext[consumed:].strip(", ")
+            if rest:
+                errors.append(
+                    f"{lineno}: trailing junk in labels: {rest!r}")
+        try:
+            value = parse_value(valuetext)
+        except ValueError:
+            errors.append(f"{lineno}: non-numeric value {valuetext!r}")
+            continue
+
+        series = (name, tuple(sorted(labels)))
+        if series in seen_series:
+            errors.append(f"{lineno}: duplicate series {series}")
+        seen_series.add(series)
+
+        family = family_of(name)
+        if family not in types and name not in types:
+            errors.append(f"{lineno}: sample {name!r} has no TYPE")
+        if types.get(family) == "histogram":
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    errors.append(
+                        f"{lineno}: histogram bucket without le label")
+                else:
+                    histograms.setdefault(family, []).append(
+                        (parse_value(le), value))
+            elif name.endswith("_count"):
+                hist_counts[family] = value
+
+    for family, buckets in histograms.items():
+        les = [le for le, _ in buckets]
+        counts = [c for _, c in buckets]
+        if les != sorted(les):
+            errors.append(f"{family}: le values not sorted: {les}")
+        if counts != sorted(counts):
+            errors.append(
+                f"{family}: bucket counts not cumulative: {counts}")
+        if not les or les[-1] != float("inf"):
+            errors.append(f"{family}: missing le=\"+Inf\" bucket")
+        elif family in hist_counts and counts[-1] != hist_counts[family]:
+            errors.append(
+                f"{family}: +Inf bucket {counts[-1]} != _count "
+                f"{hist_counts[family]}")
+
+    for err in errors:
+        print(f"{label}: {err}", file=sys.stderr)
+    print(f"{label}: {samples} samples, {len(types)} families, "
+          f"{len(errors)} errors")
+    return not errors
+
+
+SELF_TEST_GOOD = """\
+# TYPE uov_requests_total counter
+uov_requests_total 42
+# TYPE uov_queue_depth gauge
+uov_queue_depth 0
+# TYPE uov_latency_us histogram
+uov_latency_us_bucket{le="1"} 1
+uov_latency_us_bucket{le="3"} 4
+uov_latency_us_bucket{le="+Inf"} 5
+uov_latency_us_sum 37
+uov_latency_us_count 5
+# TYPE uov_build_info gauge
+uov_build_info{version="a\\"b\\\\c\\n"} 1
+"""
+
+SELF_TEST_BAD = [
+    "uov_no_type_total 1\n",
+    "# TYPE uov_x counter\nuov_x 1\n",           # counter sans _total
+    "# TYPE 9bad gauge\n9bad 1\n",               # bad name
+    "# TYPE uov_g gauge\nuov_g one\n",           # non-numeric
+    "# TYPE uov_g gauge\nuov_g 1\nuov_g 2\n",    # duplicate series
+    # non-cumulative histogram, missing +Inf
+    "# TYPE uov_h histogram\n"
+    'uov_h_bucket{le="1"} 5\nuov_h_bucket{le="2"} 3\nuov_h_count 5\n',
+]
+
+
+def self_test():
+    ok = check_exposition(SELF_TEST_GOOD, "self-test-good")
+    if not ok:
+        print("self-test: the good document failed", file=sys.stderr)
+        return False
+    for i, doc in enumerate(SELF_TEST_BAD):
+        if check_exposition(doc, f"self-test-bad-{i}"):
+            print(f"self-test: bad document {i} passed the linter",
+                  file=sys.stderr)
+            return False
+    print("self-test: ok")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if argv[1] == "--self-test":
+        return 0 if self_test() else 1
+    ok = True
+    for path in argv[1:]:
+        if path == "-":
+            text = sys.stdin.read()
+            label = "<stdin>"
+        else:
+            with open(path) as f:
+                text = f.read()
+            label = path
+        ok = check_exposition(text, label) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

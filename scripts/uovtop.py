@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""uovtop: a live terminal dashboard for a running uovd admin plane.
+
+Polls /metrics and /flight on the admin port and renders request
+rates, cache/store hit ratios, latency quantiles, shed state, and the
+most recent flight-recorder digests.  Uses curses when stdout is a
+terminal; falls back to plain text (one frame per poll) when piped.
+
+Usage:
+    uovtop.py --port PORT [--host 127.0.0.1] [--interval 1.0]
+    uovtop.py --port PORT --once          # one plain-text frame
+    uovtop.py --self-test                 # parser unit checks, no I/O
+
+Requires only the Python standard library.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+
+
+def fetch(host, port, path, timeout=2.0):
+    url = f"http://{host}:{port}{path}"
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.read().decode("utf-8", "replace")
+
+
+def parse_metrics(text):
+    """Prometheus text -> {series_name: value} (labels folded in)."""
+    out = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        parts = line.rsplit(None, 1)
+        if len(parts) != 2:
+            continue
+        name, value = parts
+        try:
+            out[name] = float(value)
+        except ValueError:
+            continue
+    return out
+
+
+def ratio(a, b):
+    return a / b if b else 0.0
+
+
+class Sampler:
+    """Keeps the previous sample to derive per-second rates."""
+
+    def __init__(self):
+        self.prev = None
+        self.prev_t = None
+
+    def rates(self, metrics, now):
+        rates = {}
+        if self.prev is not None and now > self.prev_t:
+            dt = now - self.prev_t
+            for k, v in metrics.items():
+                if k.endswith("_total"):
+                    rates[k] = max(0.0, v - self.prev.get(k, 0.0)) / dt
+        self.prev = dict(metrics)
+        self.prev_t = now
+        return rates
+
+
+def metric(metrics, name, default=0.0):
+    return metrics.get(name, default)
+
+
+def render_frame(metrics, rates, flight, width=100):
+    """Build the dashboard as a list of lines."""
+    m = lambda n: metric(metrics, n)
+    lines = []
+    lines.append("uovtop -- uovd live telemetry")
+    lines.append("-" * width)
+
+    requests = m("uov_service_requests_total")
+    lines.append(
+        f"requests {requests:10.0f}   "
+        f"rate {rates.get('uov_service_requests_total', 0.0):8.1f}/s   "
+        f"searches {m('uov_service_searches_total'):8.0f}   "
+        f"coalesced {m('uov_service_singleflight_coalesced_total'):6.0f}")
+
+    hits = m("uov_service_cache_hits_total")
+    misses = m("uov_service_cache_misses_total")
+    lines.append(
+        f"cache    hit {100 * ratio(hits, hits + misses):5.1f}%   "
+        f"hits {hits:9.0f}   misses {misses:8.0f}   "
+        f"store hits {m('uov_service_store_hits_total'):7.0f}")
+
+    lines.append(
+        f"outcomes optimal {m('uov_service_optimal_total'):8.0f}   "
+        f"degraded {m('uov_service_degraded_total'):7.0f}   "
+        f"errors {m('uov_service_request_errors_total'):6.0f}   "
+        f"shed {m('uov_service_shed_responses_total'):6.0f}")
+
+    shed = "ENGAGED" if m("uov_service_shed_active") else "off"
+    lines.append(
+        f"latency  p50 {m('uov_service_latency_us_p50'):7.0f} us   "
+        f"p99 {m('uov_service_latency_us_p99'):8.0f} us   "
+        f"queue {m('uov_service_queue_depth'):4.0f}   shed {shed}")
+
+    lines.append("-" * width)
+    digests = (flight or {}).get("digests", [])
+    lines.append(f"flight (last {len(digests)} of "
+                 f"{(flight or {}).get('recorded', 0)} recorded)")
+    header = (f"{'idx':>5} {'verb':<8} {'outcome':<8} {'wall_us':>8} "
+              f"{'nodes':>7} {'hit':<5} {'cause':<16} trace_id")
+    lines.append(header)
+    for d in digests[-10:]:
+        hit = ("c" if d.get("cache_hit") else
+               "s" if d.get("store_hit") else
+               "f" if d.get("coalesced") else "-")
+        lines.append(
+            f"{d.get('index', 0):>5} {d.get('verb', '?'):<8} "
+            f"{d.get('outcome', '?'):<8} {d.get('wall_us', 0):>8} "
+            f"{d.get('nodes', 0):>7} {hit:<5} "
+            f"{d.get('cause', ''):<16.16} {d.get('trace_id', '')}")
+    return [line[:width] for line in lines]
+
+
+def run_once(args):
+    metrics = parse_metrics(fetch(args.host, args.port, "/metrics"))
+    try:
+        flight = json.loads(fetch(args.host, args.port, "/flight"))
+    except (ValueError, OSError):
+        flight = {}
+    for line in render_frame(metrics, {}, flight):
+        print(line)
+    return 0
+
+
+def run_plain(args):
+    sampler = Sampler()
+    while True:
+        metrics = parse_metrics(fetch(args.host, args.port, "/metrics"))
+        rates = sampler.rates(metrics, time.monotonic())
+        try:
+            flight = json.loads(fetch(args.host, args.port, "/flight"))
+        except (ValueError, OSError):
+            flight = {}
+        print("\n".join(render_frame(metrics, rates, flight)))
+        print()
+        time.sleep(args.interval)
+
+
+def run_curses(args):
+    import curses
+
+    def loop(stdscr):
+        curses.curs_set(0)
+        stdscr.nodelay(True)
+        sampler = Sampler()
+        while True:
+            try:
+                metrics = parse_metrics(
+                    fetch(args.host, args.port, "/metrics"))
+                rates = sampler.rates(metrics, time.monotonic())
+                flight = json.loads(
+                    fetch(args.host, args.port, "/flight"))
+                lines = render_frame(metrics, rates, flight,
+                                     width=curses.COLS - 1)
+            except OSError as e:
+                lines = [f"uovtop: cannot reach "
+                         f"{args.host}:{args.port}: {e}"]
+            stdscr.erase()
+            for y, line in enumerate(lines[: curses.LINES - 1]):
+                stdscr.addnstr(y, 0, line, curses.COLS - 1)
+            stdscr.refresh()
+            if stdscr.getch() in (ord("q"), 27):
+                return
+            time.sleep(args.interval)
+
+    curses.wrapper(loop)
+    return 0
+
+
+def self_test():
+    metrics = parse_metrics(
+        "# TYPE uov_service_requests_total counter\n"
+        "uov_service_requests_total 10\n"
+        "uov_service_cache_hits_total 4\n"
+        "uov_service_cache_misses_total 6\n"
+        "uov_service_latency_us_p50 12\n"
+        "not a sample line\n")
+    assert metrics["uov_service_requests_total"] == 10.0
+    assert "not" not in metrics
+
+    sampler = Sampler()
+    assert sampler.rates(metrics, 100.0) == {}
+    later = dict(metrics, uov_service_requests_total=30.0)
+    rates = sampler.rates(later, 102.0)
+    assert rates["uov_service_requests_total"] == 10.0
+
+    flight = {"recorded": 2, "digests": [
+        {"index": 1, "verb": "shortest", "outcome": "optimal",
+         "wall_us": 55, "nodes": 7, "cache_hit": False,
+         "store_hit": False, "coalesced": False, "cause": "",
+         "trace_id": "deadbeefdeadbeef"},
+        {"index": 2, "verb": "storage", "outcome": "shed",
+         "wall_us": 3, "nodes": 0, "cache_hit": True,
+         "store_hit": False, "coalesced": False, "cause": "shed",
+         "trace_id": "cafecafecafecafe"},
+    ]}
+    frame = render_frame(later, rates, flight)
+    text = "\n".join(frame)
+    assert "deadbeefdeadbeef" in text
+    assert "shed" in text
+    assert "rate     10.0/s" in text or "10.0/s" in text
+    print("self-test: ok")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int)
+    ap.add_argument("--interval", type=float, default=1.0)
+    ap.add_argument("--once", action="store_true",
+                    help="print one plain frame and exit")
+    ap.add_argument("--plain", action="store_true",
+                    help="plain text frames even on a terminal")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run parser/renderer checks without a daemon")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.port is None:
+        ap.error("--port is required (or use --self-test)")
+    try:
+        if args.once:
+            return run_once(args)
+        if args.plain or not sys.stdout.isatty():
+            return run_plain(args)
+        return run_curses(args)
+    except KeyboardInterrupt:
+        return 0
+    except OSError as e:
+        print(f"uovtop: cannot reach {args.host}:{args.port}: {e}",
+              file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

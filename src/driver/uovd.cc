@@ -45,8 +45,11 @@
 #include "driver/nest_parser.h"
 #include "service/executor.h"
 #include "support/error.h"
+#include "support/logging.h"
 #include "support/trace.h"
 #include "support/version.h"
+#include "telemetry/admin_server.h"
+#include "telemetry/trace_context.h"
 
 using namespace uov;
 using namespace uov::service;
@@ -80,6 +83,32 @@ usage(std::ostream &os)
         "  --shed-low N      stop shedding once the queue drains to N\n"
         "                    (default: shed-high / 2; the hysteresis\n"
         "                    band)\n"
+        "  --store-compact-every N  compact the store after every N\n"
+        "                    acknowledged appends (0 = never)\n"
+        "  --admin-port N    serve the admin plane on 127.0.0.1:N\n"
+        "                    (/metrics /healthz /readyz /slo /flight\n"
+        "                    /spans /quitquitquit; 0 = ephemeral, the\n"
+        "                    bound port is printed to stderr)\n"
+        "  --admin-port-file F  also write the bound port to F\n"
+        "  --admin-hold      after answering the batch, keep serving\n"
+        "                    the admin plane until GET /quitquitquit\n"
+        "  --flight-size K   flight-recorder ring capacity\n"
+        "                    (default 256 request digests)\n"
+        "  --trace-ids       append ' trace_id=<16 hex>' to every\n"
+        "                    response line (opt-in: the token is\n"
+        "                    per-run unique, so it is exempt from the\n"
+        "                    byte-determinism contract)\n"
+        "  --slo-window-s N  SLO rolling window (default 60 s)\n"
+        "  --slo-p50-us N    SLO latency targets in microseconds\n"
+        "  --slo-p99-us N    (0 disables that percentile's target)\n"
+        "  --slo-p999-us N\n"
+        "  --slo-max-degraded R  SLO outcome-ratio ceilings in [0,1]\n"
+        "  --slo-max-shed R      (negative disables that ceiling)\n"
+        "  --slo-max-error R\n"
+        "  --log-json        structured JSON log lines on stderr\n"
+        "  --log-level L     error|warn|info|debug (default warn;\n"
+        "                    info narrates request outcomes when the\n"
+        "                    admin plane is armed)\n"
         "  --request-deadline-ms N  default per-request deadline\n"
         "                    (lines may override with 'deadline_ms N';\n"
         "                    -1 = unbounded, 0 = degrade immediately)\n"
@@ -120,12 +149,18 @@ int
 main(int argc, char **argv)
 {
     std::string input_path, output_path, metrics_json_path, trace_path;
+    std::string admin_port_file;
     std::vector<std::string> nest_paths;
     unsigned threads = 0;
     bool dump_metrics = false;
+    bool admin_hold = false;
+    bool trace_ids = false;
     int64_t request_deadline_ms = -1;
+    int64_t admin_port = -1; ///< -1 = no admin plane; 0 = ephemeral
+    size_t flight_size = 256;
     ServiceOptions options;
     AdmissionOptions admission_options;
+    telemetry::SloOptions slo_options;
 
     auto next_arg = [&](int &i, const char *flag) -> std::string {
         if (i + 1 >= argc) {
@@ -175,6 +210,64 @@ main(int argc, char **argv)
             } else if (a == "--request-deadline-ms") {
                 request_deadline_ms =
                     std::stoll(next_arg(i, "--request-deadline-ms"));
+            } else if (a == "--store-compact-every") {
+                options.store_compact_every =
+                    std::stoull(next_arg(i, "--store-compact-every"));
+            } else if (a == "--admin-port") {
+                admin_port =
+                    std::stoll(next_arg(i, "--admin-port"));
+                if (admin_port < 0 || admin_port > 65535) {
+                    std::cerr << "uovd: --admin-port must be in "
+                                 "[0, 65535]\n";
+                    return 2;
+                }
+            } else if (a == "--admin-port-file") {
+                admin_port_file = next_arg(i, "--admin-port-file");
+            } else if (a == "--admin-hold") {
+                admin_hold = true;
+            } else if (a == "--flight-size") {
+                flight_size =
+                    std::stoull(next_arg(i, "--flight-size"));
+            } else if (a == "--trace-ids") {
+                trace_ids = true;
+            } else if (a == "--slo-window-s") {
+                slo_options.window_s =
+                    std::stoll(next_arg(i, "--slo-window-s"));
+            } else if (a == "--slo-p50-us") {
+                slo_options.p50_us =
+                    std::stoll(next_arg(i, "--slo-p50-us"));
+            } else if (a == "--slo-p99-us") {
+                slo_options.p99_us =
+                    std::stoll(next_arg(i, "--slo-p99-us"));
+            } else if (a == "--slo-p999-us") {
+                slo_options.p999_us =
+                    std::stoll(next_arg(i, "--slo-p999-us"));
+            } else if (a == "--slo-max-degraded") {
+                slo_options.max_degraded =
+                    std::stod(next_arg(i, "--slo-max-degraded"));
+            } else if (a == "--slo-max-shed") {
+                slo_options.max_shed =
+                    std::stod(next_arg(i, "--slo-max-shed"));
+            } else if (a == "--slo-max-error") {
+                slo_options.max_error =
+                    std::stod(next_arg(i, "--slo-max-error"));
+            } else if (a == "--log-json") {
+                Logger::instance().setJsonMode(true);
+            } else if (a == "--log-level") {
+                std::string lvl = next_arg(i, "--log-level");
+                if (lvl == "error")
+                    Logger::instance().level(LogLevel::Error);
+                else if (lvl == "warn")
+                    Logger::instance().level(LogLevel::Warn);
+                else if (lvl == "info")
+                    Logger::instance().level(LogLevel::Info);
+                else if (lvl == "debug")
+                    Logger::instance().level(LogLevel::Debug);
+                else {
+                    std::cerr << "uovd: bad --log-level '" << lvl
+                              << "'\n";
+                    return 2;
+                }
             } else if (a == "--metrics") {
                 dump_metrics = true;
             } else if (a == "--metrics-json") {
@@ -252,9 +345,74 @@ main(int argc, char **argv)
     if (admission_options.high_water > 0)
         admission = std::make_unique<AdmissionController>(
             admission_options, metrics);
+
+    // The live telemetry plane: the flight recorder, SLO window, and
+    // request trace scopes are armed by --admin-port or --trace-ids;
+    // the admin socket itself only by --admin-port.
+    bool plane_armed = admin_port >= 0 || trace_ids;
+    std::unique_ptr<telemetry::FlightRecorder> flight;
+    std::unique_ptr<telemetry::SloTracker> slo;
+    std::unique_ptr<telemetry::AdminServer> admin;
+    TelemetryPlane plane;
+    if (plane_armed) {
+        telemetry::installLoggerTraceIds();
+        flight =
+            std::make_unique<telemetry::FlightRecorder>(flight_size);
+        slo = std::make_unique<telemetry::SloTracker>(slo_options);
+        plane.flight = flight.get();
+        plane.slo = slo.get();
+        plane.trace_ids = trace_ids;
+        plane.log_outcomes = true;
+    }
+    if (admin_port >= 0) {
+        telemetry::AdminHooks hooks;
+        hooks.metrics = &metrics;
+        hooks.flight = flight.get();
+        hooks.slo = slo.get();
+        bool store_configured = !options.store_path.empty();
+        hooks.health = [&svc, &metrics, adm = admission.get(),
+                        store_configured,
+                        high_water = admission_options.high_water] {
+            telemetry::HealthStatus h;
+            h.store_configured = store_configured;
+            h.store_ok = svc.store() != nullptr;
+            h.shed_active = adm != nullptr && adm->shedding();
+            h.queue_depth =
+                metrics.gauge("service.queue_depth").value();
+            h.shed_high_water = high_water;
+            h.ready =
+                !h.shed_active && (!store_configured || h.store_ok);
+            return h;
+        };
+        hooks.spans_json = [] {
+            std::ostringstream oss;
+            trace::Tracer::instance().writeChromeJson(oss);
+            return oss.str();
+        };
+        try {
+            admin = std::make_unique<telemetry::AdminServer>(
+                std::move(hooks), static_cast<uint16_t>(admin_port));
+        } catch (const UovError &e) {
+            std::cerr << "uovd: " << e.what() << "\n";
+            return 2;
+        }
+        std::cerr << "uovd: admin plane on 127.0.0.1:"
+                  << admin->port() << "\n";
+        if (!admin_port_file.empty()) {
+            std::ofstream pf(admin_port_file);
+            if (!pf) {
+                std::cerr << "uovd: cannot open admin port file '"
+                          << admin_port_file << "'\n";
+                return 2;
+            }
+            pf << admin->port() << "\n";
+        }
+    }
+
     std::vector<std::string> responses;
     try {
-        responses = runBatch(svc, requests, pool, admission.get());
+        responses = runBatch(svc, requests, pool, admission.get(),
+                             plane_armed ? &plane : nullptr);
     } catch (const UovError &e) {
         std::cerr << "uovd: " << e.what() << "\n";
         return 2;
@@ -290,6 +448,16 @@ main(int argc, char **argv)
         *out << line << "\n";
         if (line.rfind("error ", 0) == 0)
             ++error_lines;
+    }
+    out->flush();
+
+    // --admin-hold: the batch is answered and flushed; keep the admin
+    // plane up so scrapers and dashboards can inspect the run, until
+    // a GET /quitquitquit lets the process exit.
+    if (admin != nullptr && admin_hold) {
+        std::cerr << "uovd: holding; GET /quitquitquit on the admin "
+                     "port to exit\n";
+        admin->waitQuit();
     }
 
     if (dump_metrics)

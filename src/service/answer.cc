@@ -6,6 +6,7 @@
 #include "geometry/polyhedron.h"
 #include "service/canonical.h"
 #include "support/error.h"
+#include "telemetry/trace_context.h"
 
 namespace uov {
 namespace service {
@@ -58,6 +59,7 @@ solveCanonical(const Stencil &canonical, SearchObjective objective,
     }
     BranchBoundSearch search(canonical, objective, options);
     SearchResult result = search.run();
+    telemetry::noteSearch(result.stats.visited);
 
     ServiceAnswer answer;
     answer.best_uov = result.best_uov;

@@ -17,6 +17,7 @@
 #include "support/failpoint.h"
 #include "support/logging.h"
 #include "support/trace.h"
+#include "telemetry/trace_context.h"
 
 namespace uov {
 namespace service {
@@ -592,9 +593,118 @@ shedRequest(const Request &request)
     });
 }
 
+telemetry::FlightDigest::Outcome
+classifyResponse(const std::string &response)
+{
+    using Outcome = telemetry::FlightDigest::Outcome;
+    if (response.rfind("error ", 0) == 0)
+        return Outcome::Error;
+    auto pos = response.find(" degraded=");
+    if (pos == std::string::npos)
+        return Outcome::Optimal;
+    // The reason is the whitespace-delimited token after '='.
+    size_t begin = pos + 10;
+    size_t end = response.find(' ', begin);
+    std::string reason = response.substr(
+        begin, end == std::string::npos ? std::string::npos
+                                        : end - begin);
+    return reason == "shed" ? Outcome::Shed : Outcome::Degraded;
+}
+
+namespace {
+
+telemetry::FlightDigest::Verb
+requestVerb(const Request &request)
+{
+    using Verb = telemetry::FlightDigest::Verb;
+    if (!request.error.empty())
+        return Verb::Unknown;
+    if (request.native)
+        return Verb::Native;
+    if (request.tune)
+        return Verb::Tune;
+    return request.objective == SearchObjective::BoundedStorage
+               ? Verb::Storage
+               : Verb::Shortest;
+}
+
+/** The digest's cause field: degraded reason or error message head. */
+std::string
+responseCause(const std::string &response,
+              telemetry::FlightDigest::Outcome outcome)
+{
+    using Outcome = telemetry::FlightDigest::Outcome;
+    if (outcome == Outcome::Error) {
+        // Skip "error <idx> "; keep the message head.
+        size_t sp = response.find(' ');
+        sp = sp == std::string::npos ? std::string::npos
+                                     : response.find(' ', sp + 1);
+        return sp == std::string::npos ? response
+                                       : response.substr(sp + 1);
+    }
+    if (outcome == Outcome::Degraded || outcome == Outcome::Shed) {
+        size_t pos = response.find(" degraded=");
+        size_t begin = pos + 10;
+        size_t end = response.find(' ', begin);
+        return response.substr(begin, end == std::string::npos
+                                          ? std::string::npos
+                                          : end - begin);
+    }
+    return "";
+}
+
+/**
+ * One request's telemetry epilogue: digest into the flight recorder,
+ * sample into the SLO window, optionally log the non-optimal outcome
+ * (inside the request's TraceScope, so the log line carries the id).
+ */
+void
+recordOutcome(const TelemetryPlane &plane, const Request &request,
+              telemetry::TraceContext ctx,
+              const telemetry::RequestAnnotations &notes,
+              const std::string &response, uint64_t wall_us)
+{
+    using FD = telemetry::FlightDigest;
+    FD digest;
+    digest.trace_id = ctx.id;
+    digest.key_hash = notes.key_hash;
+    digest.request_index = request.index;
+    digest.nodes = notes.nodes;
+    digest.wall_us = wall_us;
+    digest.verb = requestVerb(request);
+    digest.outcome = classifyResponse(response);
+    digest.cache_hit = notes.cache_hit;
+    digest.store_hit = notes.store_hit;
+    digest.coalesced = notes.coalesced;
+    digest.setCause(responseCause(response, digest.outcome));
+    if (plane.flight != nullptr)
+        plane.flight->record(digest);
+    if (plane.slo != nullptr)
+        plane.slo->record(digest.outcome, wall_us);
+    if (plane.log_outcomes && digest.outcome != FD::Outcome::Optimal)
+        UOV_LOG_INFO("request " << request.index << " outcome="
+                     << FD::outcomeName(digest.outcome) << " cause='"
+                     << digest.causeStr() << "' verb="
+                     << FD::verbName(digest.verb)
+                     << " wall_us=" << wall_us);
+}
+
+/** Wall-clock microseconds since @p start (clamped non-negative). */
+uint64_t
+wallMicrosSince(Deadline::Clock::time_point start)
+{
+    int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     Deadline::Clock::now() - start)
+                     .count();
+    return us < 0 ? 0 : static_cast<uint64_t>(us);
+}
+
+} // namespace
+
 std::vector<std::string>
 runBatch(QueryService &service, const std::vector<Request> &requests,
-         ThreadPool &pool, AdmissionController *admission)
+         ThreadPool &pool, AdmissionController *admission,
+         const TelemetryPlane *plane)
 {
     std::vector<std::string> responses(requests.size());
     Gauge &depth = service.metrics().gauge("service.queue_depth");
@@ -604,6 +714,27 @@ runBatch(QueryService &service, const std::vector<Request> &requests,
         25, &service.metrics().counter("service.watchdog.overdue"));
     uint64_t fires_before =
         failpoint::Registry::instance().totalFires();
+
+    // Telemetry wrapper for responses produced on the submitting
+    // thread (shed answers, admission-failpoint errors): same scope,
+    // digest, and opt-in trace_id token as pooled requests.
+    auto inlineResponse = [&](const Request &request,
+                              const std::function<std::string()> &fn) {
+        if (plane == nullptr)
+            return fn();
+        telemetry::TraceContext ctx = telemetry::newTrace();
+        auto started = Deadline::Clock::now();
+        std::string response;
+        {
+            telemetry::TraceScope scope(ctx);
+            response = fn();
+            recordOutcome(*plane, request, ctx, scope.notes(),
+                          response, wallMicrosSince(started));
+        }
+        if (plane->trace_ids)
+            response += " trace_id=" + traceIdHex(ctx.id);
+        return response;
+    };
 
     std::vector<std::future<void>> futures;
     futures.reserve(requests.size());
@@ -617,13 +748,18 @@ runBatch(QueryService &service, const std::vector<Request> &requests,
             try {
                 failpoint::fire("admission");
             } catch (const std::exception &e) {
-                responses[i] = "error " +
-                               std::to_string(to_submit.index) + " " +
-                               e.what();
+                std::string message = e.what();
+                responses[i] = inlineResponse(to_submit, [&] {
+                    return "error " +
+                           std::to_string(to_submit.index) + " " +
+                           message;
+                });
                 continue;
             }
             if (!admission->admit(depth.value())) {
-                responses[i] = shedRequest(to_submit);
+                responses[i] = inlineResponse(to_submit, [&] {
+                    return shedRequest(to_submit);
+                });
                 continue;
             }
         }
@@ -631,7 +767,7 @@ runBatch(QueryService &service, const std::vector<Request> &requests,
         auto enqueued = Deadline::Clock::now();
         futures.push_back(pool.submit([&service, &requests, &responses,
                                        &watchdog, &depth, &queue_wait,
-                                       enqueued, i] {
+                                       plane, enqueued, i] {
             const Request &request = requests[i];
             int64_t wait_us =
                 std::chrono::duration_cast<std::chrono::microseconds>(
@@ -640,8 +776,20 @@ runBatch(QueryService &service, const std::vector<Request> &requests,
             queue_wait.observe(
                 wait_us < 0 ? 0 : static_cast<uint64_t>(wait_us));
             TRACE_COUNTER("service.queue_wait", "us", wait_us);
+            // The request runs whole on this pool thread, so a
+            // thread-local trace scope covers every layer it enters;
+            // the span arg links the Perfetto track to the same id.
+            telemetry::TraceContext ctx;
+            std::optional<telemetry::TraceScope> scope;
+            if (plane != nullptr) {
+                ctx = telemetry::newTrace();
+                scope.emplace(ctx);
+            }
             trace::Span span("service.request");
             span.arg("index", static_cast<int64_t>(request.index));
+            if (ctx.valid())
+                span.arg("trace_id", static_cast<int64_t>(ctx.id));
+            auto started = Deadline::Clock::now();
             // Per-request error isolation: whatever this request
             // throws -- an armed fail point, even an internal error
             // -- becomes its own error line; the batch always runs
@@ -657,6 +805,12 @@ runBatch(QueryService &service, const std::vector<Request> &requests,
             }
             watchdog.finish(i);
             depth.sub(1);
+            if (plane != nullptr) {
+                recordOutcome(*plane, request, ctx, scope->notes(),
+                              responses[i], wallMicrosSince(started));
+                if (plane->trace_ids)
+                    responses[i] += " trace_id=" + traceIdHex(ctx.id);
+            }
         }));
     }
     // Drain every future before unwinding (tasks capture locals).

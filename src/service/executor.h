@@ -47,6 +47,8 @@
 #include "service/service.h"
 #include "support/deadline.h"
 #include "support/thread_pool.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/slo.h"
 
 namespace uov {
 namespace service {
@@ -247,6 +249,38 @@ class AdmissionController
 std::string shedRequest(const Request &request);
 
 /**
+ * The batch executor's hookup to the live telemetry plane.  When a
+ * plane is attached to runBatch, every request (inline shed and
+ * admission-error responses included) runs inside a fresh TraceScope:
+ * one 64-bit trace id links the structured log lines, the
+ * flight-recorder digest, the SLO sample, and the "service.request"
+ * Perfetto span for that request.  All pointers optional; a
+ * default-constructed plane still mints trace ids (log/span linkage
+ * without a recorder).
+ *
+ * Determinism: recording is observation-only.  Response bytes are
+ * unchanged unless @p trace_ids opts in, which appends the
+ * " trace_id=<16 hex>" token -- timing-unique, hence exempt from the
+ * byte-determinism contract exactly like native/tune _ns fields.
+ */
+struct TelemetryPlane
+{
+    telemetry::FlightRecorder *flight = nullptr;
+    telemetry::SloTracker *slo = nullptr;
+    bool trace_ids = false;    ///< append " trace_id=..." to responses
+    bool log_outcomes = false; ///< Info log per non-optimal outcome
+};
+
+/**
+ * Classify one response line the way the executor's metrics do:
+ * "error " prefix -> Error; " degraded=shed" -> Shed; any other
+ * " degraded=" -> Degraded; else Optimal.  Exposed for tests and the
+ * flight recorder.
+ */
+telemetry::FlightDigest::Outcome
+classifyResponse(const std::string &response);
+
+/**
  * Answer a batch on @p pool (requests fan out; identical in-flight
  * queries coalesce inside the service).  Responses are returned in
  * request order.  The pool's queue depth is tracked in the service's
@@ -261,12 +295,14 @@ std::string shedRequest(const Request &request);
  *
  * @p admission, when non-null, applies overload shedding to solve
  * requests (see AdmissionController); the fail-point site "admission"
- * fires per admission decision.
+ * fires per admission decision.  @p plane, when non-null, attaches
+ * the live telemetry plane (see TelemetryPlane).
  */
 std::vector<std::string> runBatch(QueryService &service,
                                   const std::vector<Request> &requests,
                                   ThreadPool &pool,
-                                  AdmissionController *admission = nullptr);
+                                  AdmissionController *admission = nullptr,
+                                  const TelemetryPlane *plane = nullptr);
 
 /** Single-threaded reference executor (no pool, no service state). */
 std::vector<std::string>

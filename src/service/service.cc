@@ -5,6 +5,7 @@
 #include "support/failpoint.h"
 #include "support/logging.h"
 #include "support/trace.h"
+#include "telemetry/trace_context.h"
 
 namespace uov {
 namespace service {
@@ -57,6 +58,7 @@ QueryService::query(const Stencil &stencil, SearchObjective objective,
         _canon_removed.inc(stencil.size() - canonical.size());
     CanonicalKey key =
         makeKey(canonical, objective, isg_lo, isg_hi, deadline_ms);
+    telemetry::noteKeyHash(key.hash());
 
     auto finish = [&](const ServiceAnswer &answer) {
         auto us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -71,8 +73,10 @@ QueryService::query(const Stencil &stencil, SearchObjective objective,
         trace::Span span("service.cache.lookup");
         auto cached = _cache.lookup(key);
         span.arg("hit", static_cast<int64_t>(cached ? 1 : 0));
-        if (cached)
+        if (cached) {
+            telemetry::noteCacheHit();
             return finish(*cached);
+        }
     }
 
     // Disk store: a persisted answer short-circuits the search exactly
@@ -84,6 +88,7 @@ QueryService::query(const Stencil &stencil, SearchObjective objective,
         auto stored = _store->lookup(key);
         span.arg("hit", static_cast<int64_t>(stored ? 1 : 0));
         if (stored) {
+            telemetry::noteStoreHit();
             if (use_cache)
                 _cache.insert(key, *stored);
             return finish(*stored);
@@ -107,6 +112,7 @@ QueryService::query(const Stencil &stencil, SearchObjective objective,
 
     if (!owner) {
         _coalesced.inc();
+        telemetry::noteCoalesced();
         std::unique_lock<std::mutex> lock(flight->mutex);
         flight->cv.wait(lock, [&] { return flight->done; });
         if (flight->error)
@@ -137,8 +143,17 @@ QueryService::query(const Stencil &stencil, SearchObjective objective,
         // Persist after the search; a rolled-back append (fail point,
         // full disk) costs durability for this one answer, not the
         // answer itself.
-        if (_store)
-            _store->append(key, answer);
+        if (_store && _store->append(key, answer) &&
+            _options.store_compact_every > 0) {
+            // Periodic compaction: every Nth acknowledged append
+            // rewrites the log down to the live index, so a daemon
+            // that keeps re-answering its corpus bounds its log.
+            uint64_t n = _appends_since_compact.fetch_add(
+                             1, std::memory_order_relaxed) +
+                         1;
+            if (n % _options.store_compact_every == 0)
+                _store->compact();
+        }
     } catch (...) {
         error = std::current_exception();
     }

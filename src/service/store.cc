@@ -265,6 +265,10 @@ ResultStore::ResultStore(std::string path, MetricsRegistry *metrics)
         _loaded_metric = &metrics->counter("service.store.loaded");
         _truncated_metric =
             &metrics->counter("service.store.truncated_bytes");
+        _compactions_metric =
+            &metrics->counter("service.store.compactions");
+        _reclaimed_metric =
+            &metrics->counter("service.store.reclaimed_bytes");
     }
     open();
     if (_loaded_metric != nullptr)
@@ -553,7 +557,14 @@ ResultStore::compact()
     for (size_t i = 0; i < _log.size(); ++i)
         _index[_log[i].key] = i;
     _stats.entries = _index.size();
-    return before - _end;
+    uint64_t reclaimed = before - _end;
+    _stats.compactions += 1;
+    _stats.reclaimed_bytes += reclaimed;
+    if (_compactions_metric != nullptr)
+        _compactions_metric->inc();
+    if (_reclaimed_metric != nullptr)
+        _reclaimed_metric->inc(reclaimed);
+    return reclaimed;
 }
 
 size_t

@@ -83,6 +83,8 @@ class ResultStore
         uint64_t hits = 0;
         uint64_t entries = 0;         ///< live (deduped) index size
         uint64_t file_bytes = 0;      ///< log size after open/append
+        uint64_t compactions = 0;     ///< compact() calls completed
+        uint64_t reclaimed_bytes = 0; ///< total bytes compact() dropped
     };
 
     /**
@@ -185,6 +187,8 @@ class ResultStore
     Counter *_append_errors_metric = nullptr;
     Counter *_loaded_metric = nullptr;
     Counter *_truncated_metric = nullptr;
+    Counter *_compactions_metric = nullptr;
+    Counter *_reclaimed_metric = nullptr;
 };
 
 } // namespace service

@@ -13,13 +13,29 @@ Logger::instance()
     return logger;
 }
 
+std::string
+traceIdHex(uint64_t id)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<size_t>(i)] = digits[id & 0xf];
+        id >>= 4;
+    }
+    return out;
+}
+
 void
 Logger::write(LogLevel lvl, const std::string &msg)
 {
     if (!_sink)
         return;
+    uint64_t trace_id = _trace_id != nullptr ? _trace_id() : 0;
     if (!_json) {
-        *_sink << "[uov:" << logLevelName(lvl) << "] " << msg << "\n";
+        *_sink << "[uov:" << logLevelName(lvl) << "] " << msg;
+        if (trace_id != 0)
+            *_sink << " trace_id=" << traceIdHex(trace_id);
+        *_sink << "\n";
         return;
     }
     // Millisecond offset from the first JSON-mode line: stable across
@@ -29,7 +45,10 @@ Logger::write(LogLevel lvl, const std::string &msg)
                   std::chrono::steady_clock::now() - t0)
                   .count();
     *_sink << "{\"ts\":" << ts << ",\"level\":\"" << logLevelName(lvl)
-           << "\",\"msg\":\"" << jsonEscape(msg) << "\"}\n";
+           << "\"";
+    if (trace_id != 0)
+        *_sink << ",\"trace_id\":\"" << traceIdHex(trace_id) << "\"";
+    *_sink << ",\"msg\":\"" << jsonEscape(msg) << "\"}\n";
 }
 
 const char *

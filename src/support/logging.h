@@ -42,6 +42,21 @@ class Logger
     void setJsonMode(bool on) { _json = on; }
     bool jsonMode() const { return _json; }
 
+    /**
+     * Provider for the current request's trace id, consulted on every
+     * emitted line.  When set and returning nonzero, JSON-mode lines
+     * gain a "trace_id" key (16 lowercase hex digits) and prefix-mode
+     * lines a trailing " trace_id=<hex>" token -- the link between a
+     * log record and the flight recorder / Perfetto span that share
+     * the id.  The telemetry layer installs a provider reading its
+     * thread-local request scope (support cannot depend on telemetry,
+     * so the dependency is inverted through this hook).  Null (the
+     * default) restores plain output.
+     */
+    using TraceIdFn = uint64_t (*)();
+    void setTraceIdProvider(TraceIdFn fn) { _trace_id = fn; }
+    TraceIdFn traceIdProvider() const { return _trace_id; }
+
     bool enabled(LogLevel lvl) const
     {
         return static_cast<int>(lvl) <= static_cast<int>(_level);
@@ -56,7 +71,11 @@ class Logger
     LogLevel _level = LogLevel::Warn;
     std::ostream *_sink = &std::cerr;
     bool _json = false;
+    TraceIdFn _trace_id = nullptr;
 };
+
+/** 16 lowercase hex digits of @p id (the trace-id wire form). */
+std::string traceIdHex(uint64_t id);
 
 /** Name of a level for the log prefix. */
 const char *logLevelName(LogLevel lvl);

@@ -23,6 +23,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "support/table.h"
 
@@ -90,7 +92,34 @@ class Histogram
   public:
     static constexpr size_t kBuckets = 48;
 
+    /**
+     * A scrape-consistent copy of the histogram.  The invariants a
+     * concurrent reader can rely on (and the Prometheus renderer
+     * depends on):
+     *
+     *  - count == sum over buckets (derived, never read separately),
+     *    so the cumulative bucket series and the _count line can
+     *    never disagree, and
+     *  - sum covers every observation included in count: observe()
+     *    adds to _sum before publishing the bucket increment with
+     *    release order, and snapshot() reads buckets with acquire
+     *    order before reading _sum -- so the rendered sum is never
+     *    missing the value of a rendered observation (it may include
+     *    values of observations still in flight, which is the benign
+     *    direction: both series stay monotone across scrapes).
+     */
+    struct Snapshot
+    {
+        uint64_t buckets[kBuckets] = {};
+        uint64_t count = 0;
+        uint64_t sum = 0;
+
+        uint64_t percentile(double q) const;
+    };
+
     void observe(uint64_t v);
+
+    Snapshot snapshot() const;
 
     uint64_t count() const;
     uint64_t sum() const;
@@ -128,12 +157,36 @@ class Histogram
  * are lock-free.  One registry per service instance keeps tests and
  * embedded uses isolated (no process-global state).
  */
+/**
+ * One name-sorted, scrape-consistent copy of every registered metric.
+ * Counters and gauges are single relaxed loads (each individually
+ * consistent); histograms use Histogram::snapshot(), so no rendered
+ * histogram is ever torn between its buckets and its count.
+ */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
+/**
+ * Rank-interpolated @p q percentile over bit-width buckets (the
+ * shared implementation behind Histogram::percentile and the SLO
+ * tracker's windowed merge).  @p count must equal the bucket total.
+ */
+uint64_t bucketPercentile(const uint64_t *buckets, size_t n,
+                          uint64_t count, double q);
+
 class MetricsRegistry
 {
   public:
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
     Histogram &histogram(const std::string &name);
+
+    /** Scrape-consistent copy of every metric (name-sorted). */
+    MetricsSnapshot snapshot() const;
 
     /** All metrics as a support/table dump (name-sorted). */
     Table table() const;

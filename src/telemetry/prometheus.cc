@@ -1,0 +1,130 @@
+#include "telemetry/prometheus.h"
+
+#include <sstream>
+
+namespace uov {
+namespace telemetry {
+
+namespace {
+
+bool
+legalNameChar(char c, bool first)
+{
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':')
+        return true;
+    return !first && c >= '0' && c <= '9';
+}
+
+/** le="..." upper bound of bit-width bucket @p b (2^b - 1). */
+uint64_t
+bucketUpper(size_t b)
+{
+    return b == 0 ? 0 : (uint64_t{1} << b) - 1;
+}
+
+void
+renderHistogram(std::ostringstream &oss, const std::string &name,
+                const Histogram::Snapshot &h)
+{
+    oss << "# TYPE " << name << " histogram\n";
+    // Cumulative series over the non-empty prefix of the bucket
+    // range: rendering all 48 would be 47 zero lines for a typical
+    // microsecond histogram.  The +Inf bucket is mandatory and by
+    // construction equals the count.
+    size_t last = 0;
+    for (size_t b = 0; b < Histogram::kBuckets; ++b)
+        if (h.buckets[b] != 0)
+            last = b;
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b <= last && h.count != 0; ++b) {
+        cumulative += h.buckets[b];
+        oss << name << "_bucket{le=\"" << bucketUpper(b) << "\"} "
+            << cumulative << "\n";
+    }
+    oss << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    oss << name << "_sum " << h.sum << "\n";
+    oss << name << "_count " << h.count << "\n";
+    // Interpolated quantile companions (gauges: they can move down).
+    oss << "# TYPE " << name << "_p50 gauge\n"
+        << name << "_p50 " << h.percentile(0.5) << "\n"
+        << "# TYPE " << name << "_p99 gauge\n"
+        << name << "_p99 " << h.percentile(0.99) << "\n"
+        << "# TYPE " << name << "_p999 gauge\n"
+        << name << "_p999 " << h.percentile(0.999) << "\n";
+}
+
+} // namespace
+
+std::string
+sanitizeMetricName(const std::string &name)
+{
+    if (name.empty())
+        return "_";
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (size_t i = 0; i < name.size(); ++i) {
+        char c = name[i];
+        if (legalNameChar(c, /*first=*/out.empty()))
+            out.push_back(c);
+        else if (out.empty() && c >= '0' && c <= '9') {
+            out.push_back('_');
+            out.push_back(c);
+        } else
+            out.push_back('_');
+    }
+    return out;
+}
+
+std::string
+escapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+renderPrometheus(const MetricsSnapshot &snapshot,
+                 const std::string &prefix)
+{
+    std::ostringstream oss;
+    for (const auto &[name, value] : snapshot.counters) {
+        std::string n = prefix + sanitizeMetricName(name) + "_total";
+        oss << "# TYPE " << n << " counter\n" << n << " " << value
+            << "\n";
+    }
+    for (const auto &[name, value] : snapshot.gauges) {
+        std::string n = prefix + sanitizeMetricName(name);
+        oss << "# TYPE " << n << " gauge\n" << n << " " << value
+            << "\n";
+    }
+    for (const auto &[name, h] : snapshot.histograms)
+        renderHistogram(oss, prefix + sanitizeMetricName(name), h);
+    return oss.str();
+}
+
+std::string
+renderPrometheus(const MetricsRegistry &registry,
+                 const std::string &prefix)
+{
+    return renderPrometheus(registry.snapshot(), prefix);
+}
+
+} // namespace telemetry
+} // namespace uov

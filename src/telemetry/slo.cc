@@ -1,0 +1,149 @@
+#include "telemetry/slo.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <sstream>
+
+namespace uov {
+namespace telemetry {
+
+namespace {
+
+int64_t
+steadySeconds()
+{
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+SloTracker::SloTracker(SloOptions options, NowFn now)
+    : _options(options), _now(now ? std::move(now) : steadySeconds)
+{
+    _options.window_s = std::clamp<int64_t>(_options.window_s, 1, 600);
+    // One spare slot beyond the window so the second currently being
+    // written never evicts the oldest second still being reported.
+    _slots.resize(static_cast<size_t>(_options.window_s) + 1);
+}
+
+SloTracker::Slot &
+SloTracker::slotFor(int64_t sec)
+{
+    Slot &slot = _slots[static_cast<size_t>(sec) % _slots.size()];
+    if (slot.epoch != sec) {
+        slot = Slot{};
+        slot.epoch = sec;
+    }
+    return slot;
+}
+
+void
+SloTracker::record(FlightDigest::Outcome outcome, uint64_t latency_us)
+{
+    size_t b = std::bit_width(latency_us);
+    if (b >= Histogram::kBuckets)
+        b = Histogram::kBuckets - 1;
+    std::lock_guard<std::mutex> lock(_mutex);
+    Slot &slot = slotFor(std::max<int64_t>(_now(), 0));
+    slot.total += 1;
+    slot.buckets[b] += 1;
+    switch (outcome) {
+      case FlightDigest::Outcome::Degraded:
+        slot.degraded += 1;
+        break;
+      case FlightDigest::Outcome::Shed:
+        slot.shed += 1;
+        break;
+      case FlightDigest::Outcome::Error:
+        slot.errors += 1;
+        break;
+      case FlightDigest::Outcome::Optimal:
+        break;
+    }
+}
+
+SloTracker::Report
+SloTracker::report() const
+{
+    Report r;
+    r.window_s = _options.window_s;
+    uint64_t merged[Histogram::kBuckets] = {};
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        int64_t now = std::max<int64_t>(_now(), 0);
+        int64_t oldest = now - _options.window_s + 1;
+        for (const Slot &slot : _slots) {
+            if (slot.epoch < oldest || slot.epoch > now)
+                continue;
+            r.total += slot.total;
+            r.degraded += slot.degraded;
+            r.shed += slot.shed;
+            r.errors += slot.errors;
+            for (size_t b = 0; b < Histogram::kBuckets; ++b)
+                merged[b] += slot.buckets[b];
+        }
+    }
+    r.p50_us = bucketPercentile(merged, Histogram::kBuckets, r.total,
+                                0.5);
+    r.p99_us = bucketPercentile(merged, Histogram::kBuckets, r.total,
+                                0.99);
+    r.p999_us = bucketPercentile(merged, Histogram::kBuckets, r.total,
+                                 0.999);
+
+    auto violate = [&](const char *what) {
+        r.ok = false;
+        r.violations.push_back(what);
+    };
+    if (_options.p50_us > 0 && r.p50_us > _options.p50_us)
+        violate("p50_us");
+    if (_options.p99_us > 0 && r.p99_us > _options.p99_us)
+        violate("p99_us");
+    if (_options.p999_us > 0 && r.p999_us > _options.p999_us)
+        violate("p999_us");
+    if (r.total > 0) {
+        double total = static_cast<double>(r.total);
+        if (_options.max_degraded >= 0 &&
+            static_cast<double>(r.degraded) / total >
+                _options.max_degraded)
+            violate("max_degraded");
+        if (_options.max_shed >= 0 &&
+            static_cast<double>(r.shed) / total > _options.max_shed)
+            violate("max_shed");
+        if (_options.max_error >= 0 &&
+            static_cast<double>(r.errors) / total > _options.max_error)
+            violate("max_error");
+    }
+    return r;
+}
+
+std::string
+SloTracker::json() const
+{
+    Report r = report();
+    std::ostringstream oss;
+    oss << "{\"window_s\":" << r.window_s << ",\"total\":" << r.total
+        << ",\"degraded\":" << r.degraded << ",\"shed\":" << r.shed
+        << ",\"errors\":" << r.errors << ",\"p50_us\":" << r.p50_us
+        << ",\"p99_us\":" << r.p99_us << ",\"p999_us\":" << r.p999_us
+        << ",\"targets\":{\"p50_us\":" << _options.p50_us
+        << ",\"p99_us\":" << _options.p99_us
+        << ",\"p999_us\":" << _options.p999_us
+        << ",\"max_degraded\":" << _options.max_degraded
+        << ",\"max_shed\":" << _options.max_shed
+        << ",\"max_error\":" << _options.max_error
+        << "},\"ok\":" << (r.ok ? "true" : "false")
+        << ",\"violations\":[";
+    for (size_t i = 0; i < r.violations.size(); ++i) {
+        if (i)
+            oss << ",";
+        oss << "\"" << r.violations[i] << "\"";
+    }
+    oss << "]}";
+    return oss.str();
+}
+
+} // namespace telemetry
+} // namespace uov

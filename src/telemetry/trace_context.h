@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Request-scoped trace context: one 64-bit id per request, carried by
+ * value and mirrored into a thread-local scope so every layer a
+ * request passes through -- executor, service, search, codegen/tune --
+ * can stamp the same id into its structured logs, its flight-recorder
+ * digest, and its Perfetto span args without threading a parameter
+ * through every signature.
+ *
+ * The propagation contract (DESIGN.md "Telemetry plane"):
+ *
+ *  - The batch executor mints a fresh TraceContext per request
+ *    (newTrace()) and opens a TraceScope for the request's whole
+ *    execution on its pool thread.  A request never migrates threads
+ *    mid-flight (the pool runs each task to completion, single-flight
+ *    owners compute inline), so the thread-local scope is exactly the
+ *    request scope.
+ *  - Inner layers read currentTrace() / annotations() and *add*
+ *    facts (cache hit, store hit, nodes expanded); they never mint
+ *    ids.  Outside any scope both are inert: currentTrace() is id 0,
+ *    annotation calls are no-ops -- one thread_local load, so the
+ *    hooks can live permanently in the serving path.
+ *  - Ids are process-unique, nonzero, and have the top bit clear (so
+ *    they round-trip through int64 span args).  They are *not* part
+ *    of any response line unless the caller opts in (`uovd
+ *    --trace-ids`): the admin plane must not perturb byte-identical
+ *    responses.
+ *
+ * installLoggerTraceIds() points the support logger's trace-id hook
+ * at the thread-local scope, which links log records to the id
+ * (support cannot depend on telemetry, hence the function-pointer
+ * inversion).
+ */
+
+#ifndef UOV_TELEMETRY_TRACE_CONTEXT_H
+#define UOV_TELEMETRY_TRACE_CONTEXT_H
+
+#include <cstdint>
+#include <string>
+
+namespace uov {
+namespace telemetry {
+
+/** The per-request trace context, passed and captured by value. */
+struct TraceContext
+{
+    uint64_t id = 0; ///< 0 = no context
+
+    bool valid() const { return id != 0; }
+};
+
+/** Facts about one request, filled in by the layers it traverses. */
+struct RequestAnnotations
+{
+    uint64_t key_hash = 0; ///< canonical-key hash (0 until known)
+    uint64_t nodes = 0;    ///< branch-and-bound nodes expanded
+    bool cache_hit = false;
+    bool store_hit = false;
+    bool coalesced = false; ///< answered by another flight's search
+    bool searched = false;  ///< this request ran the solver itself
+};
+
+/** Mint a fresh process-unique id (nonzero, top bit clear). */
+TraceContext newTrace();
+
+/** The current thread's context ({0} outside any scope). */
+TraceContext currentTrace();
+
+/** 16-hex-digit wire form of the current id ("" outside a scope). */
+std::string currentTraceHex();
+
+/**
+ * Mutable annotations of the innermost active scope on this thread;
+ * null outside any scope.  Callers must not retain the pointer past
+ * the scope.
+ */
+RequestAnnotations *annotations();
+
+// Annotation helpers: one thread_local load, no-ops outside a scope.
+void noteKeyHash(uint64_t hash);
+void noteCacheHit();
+void noteStoreHit();
+void noteCoalesced();
+void noteSearch(uint64_t nodes_expanded);
+
+/**
+ * RAII request scope: publishes @p ctx (and a fresh annotation
+ * block) as this thread's current context; restores the previous
+ * scope on destruction, so nested scopes (a request issuing a
+ * sub-request) stack correctly.
+ */
+class TraceScope
+{
+  public:
+    explicit TraceScope(TraceContext ctx);
+    ~TraceScope();
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+    const TraceContext &context() const { return _ctx; }
+    const RequestAnnotations &notes() const { return _notes; }
+    RequestAnnotations &mutableNotes() { return _notes; }
+
+  private:
+    TraceContext _ctx;
+    RequestAnnotations _notes;
+    TraceScope *_prev;
+};
+
+/**
+ * Point the support logger's trace-id hook at the thread-local scope
+ * so every log line emitted inside a TraceScope carries the id.
+ * Idempotent; call once from the driver when the telemetry plane is
+ * armed.
+ */
+void installLoggerTraceIds();
+
+} // namespace telemetry
+} // namespace uov
+
+#endif // UOV_TELEMETRY_TRACE_CONTEXT_H

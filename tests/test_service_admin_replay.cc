@@ -1,0 +1,284 @@
+/**
+ * @file
+ * The telemetry plane's service-level acceptance tests: arming the
+ * plane must not change a single response byte, the flight recorder
+ * must hold a digest (with a matching trace id) for every degraded,
+ * shed, or error response, the SLO tracker and classification
+ * counters must reconcile with the batch, and the periodic store
+ * compaction hook must fire on schedule without disturbing answers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "fuzz/workload.h"
+#include "service/executor.h"
+#include "service/store.h"
+#include "support/logging.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/slo.h"
+#include "telemetry/trace_context.h"
+
+namespace uov {
+namespace service {
+namespace {
+
+namespace fs = std::filesystem;
+
+using telemetry::FlightDigest;
+
+/** Small search budget: replay invariants are size-independent. */
+constexpr uint64_t kVisitCap = 2'000;
+
+ServiceOptions
+cappedOptions()
+{
+    ServiceOptions opt;
+    opt.max_visits = kVisitCap;
+    return opt;
+}
+
+/** Per-test scratch file, removed on destruction. */
+struct ScratchPath
+{
+    std::string path;
+    explicit ScratchPath(const std::string &tag)
+        : path((fs::temp_directory_path() /
+                ("uov-admin-test-" + tag + "-" +
+                 std::to_string(static_cast<long>(::getpid()))))
+                   .string())
+    {
+        std::error_code ec;
+        fs::remove(path, ec);
+    }
+    ~ScratchPath()
+    {
+        std::error_code ec;
+        fs::remove(path, ec);
+    }
+};
+
+/**
+ * A mixed replay: a duplicate-heavy fuzz workload plus hand-written
+ * lines covering every outcome class -- zero-deadline degradation,
+ * parse errors, and plain optimal answers.
+ */
+std::vector<Request>
+mixedBatch(size_t fuzz_requests)
+{
+    fuzz::WorkloadOptions wopt;
+    wopt.requests = fuzz_requests;
+    wopt.distinct = 12;
+    wopt.seed = 0xAD317;
+    std::vector<Request> reqs = fuzz::makeWorkload(wopt);
+
+    std::istringstream extra(
+        "query shortest deadline_ms 0 deps [1,0] [0,1] [1,1]\n"
+        "query shortest deadline_ms -2 deps [1,0]\n" // parse error
+        "malformed\n"
+        "query storage deadline_ms 0 bounds 0..7 0..7 "
+        "deps [1,-1] [1,0] [1,1]\n");
+    for (Request &r : parseRequests(extra)) {
+        r.index = reqs.size() + 1;
+        reqs.push_back(std::move(r));
+    }
+    return reqs;
+}
+
+/** The " trace_id=<16 hex>" suffix token, or "" when absent. */
+std::string
+traceToken(const std::string &response)
+{
+    size_t pos = response.rfind(" trace_id=");
+    if (pos == std::string::npos)
+        return "";
+    return response.substr(pos + 10);
+}
+
+TEST(ClassifyResponse, PartitionsTheResponseSpace)
+{
+    EXPECT_EQ(classifyResponse("error 3 bad deadline"),
+              FlightDigest::Outcome::Error);
+    EXPECT_EQ(classifyResponse(
+                  "answer 1 best=(1, 1) value=2 degraded=shed"),
+              FlightDigest::Outcome::Shed);
+    EXPECT_EQ(classifyResponse("answer 2 best=(1, 1) value=2 "
+                               "degraded=deadline cert=a"),
+              FlightDigest::Outcome::Degraded);
+    EXPECT_EQ(classifyResponse(
+                  "answer 4 best=(1, 1) value=2 initial=4"),
+              FlightDigest::Outcome::Optimal);
+    // "shed" must be the whole token, not a prefix match.
+    EXPECT_EQ(classifyResponse("answer 5 x degraded=shedlike"),
+              FlightDigest::Outcome::Degraded);
+}
+
+TEST(AdminReplay, ArmedPlaneIsByteIdenticalToBaseline)
+{
+    std::vector<Request> reqs = mixedBatch(400);
+
+    std::vector<std::string> baseline;
+    {
+        MetricsRegistry metrics;
+        QueryService svc(cappedOptions(), metrics);
+        ThreadPool pool(4);
+        baseline = runBatch(svc, reqs, pool);
+    }
+
+    telemetry::FlightRecorder flight(1024);
+    telemetry::SloTracker slo;
+    TelemetryPlane plane;
+    plane.flight = &flight;
+    plane.slo = &slo;
+    plane.trace_ids = false; // observation only: bytes must not move
+
+    MetricsRegistry metrics;
+    QueryService svc(cappedOptions(), metrics);
+    ThreadPool pool(4);
+    std::vector<std::string> armed =
+        runBatch(svc, reqs, pool, nullptr, &plane);
+
+    ASSERT_EQ(armed.size(), baseline.size());
+    for (size_t i = 0; i < armed.size(); ++i)
+        ASSERT_EQ(armed[i], baseline[i]) << "request " << (i + 1);
+
+    // The plane observed the whole batch even though it changed
+    // nothing: one digest and one SLO sample per request.
+    EXPECT_EQ(flight.recorded(), reqs.size());
+    EXPECT_EQ(slo.report().total, reqs.size());
+
+    // Metric reconciliation is unchanged by the plane: every request
+    // that reaches the service (parse errors never do) performs
+    // exactly one cache lookup, and the outcome counters partition
+    // the whole batch.
+    size_t parse_errors = 0;
+    for (const Request &r : reqs)
+        if (!r.error.empty())
+            ++parse_errors;
+    EXPECT_EQ(metrics.counter("service.requests").value(),
+              reqs.size() - parse_errors);
+    auto st = svc.cacheStats();
+    EXPECT_EQ(st.hits + st.misses, reqs.size() - parse_errors);
+    EXPECT_EQ(metrics.counter("service.optimal").value() +
+                  metrics.counter("service.degraded").value() +
+                  metrics.counter("service.request_errors").value(),
+              reqs.size());
+}
+
+TEST(AdminReplay, FlightHoldsEveryNonOptimalResponseWithItsTraceId)
+{
+    std::vector<Request> reqs = mixedBatch(120);
+
+    telemetry::FlightRecorder flight(1024); // larger than the batch
+    telemetry::SloTracker slo;
+    TelemetryPlane plane;
+    plane.flight = &flight;
+    plane.slo = &slo;
+    plane.trace_ids = true;
+
+    MetricsRegistry metrics;
+    QueryService svc(cappedOptions(), metrics);
+    ThreadPool pool(4);
+    std::vector<std::string> responses =
+        runBatch(svc, reqs, pool, nullptr, &plane);
+
+    std::vector<FlightDigest> digests = flight.snapshot();
+    ASSERT_EQ(digests.size(), reqs.size());
+    std::map<uint64_t, const FlightDigest *> by_request;
+    for (const FlightDigest &d : digests)
+        by_request[d.request_index] = &d;
+
+    size_t non_optimal = 0;
+    for (size_t i = 0; i < responses.size(); ++i) {
+        // Opted-in responses all carry a trace id token...
+        std::string token = traceToken(responses[i]);
+        ASSERT_EQ(token.size(), 16u) << responses[i];
+
+        auto it = by_request.find(i + 1);
+        ASSERT_NE(it, by_request.end()) << "no digest for " << (i + 1);
+        const FlightDigest &d = *it->second;
+
+        // ...and the token is exactly the digest's trace id, so a
+        // flight row, a log line, and a response line correlate.
+        EXPECT_EQ(token, traceIdHex(d.trace_id))
+            << responses[i];
+
+        // The digest's outcome matches the classifier (the trace_id
+        // token is appended after classification, so strip it).
+        std::string bare =
+            responses[i].substr(0, responses[i].rfind(" trace_id="));
+        EXPECT_EQ(d.outcome, classifyResponse(bare)) << responses[i];
+        if (d.outcome != FlightDigest::Outcome::Optimal) {
+            ++non_optimal;
+            // Error digests explain themselves.
+            if (d.outcome == FlightDigest::Outcome::Error)
+                EXPECT_FALSE(d.causeStr().empty()) << responses[i];
+        }
+    }
+    // The hand-written tail guarantees at least one degraded line and
+    // two error lines survived into the flight ring.
+    EXPECT_GE(non_optimal, 3u);
+
+    // SLO ratios agree with the recorder.
+    telemetry::SloTracker::Report r = slo.report();
+    EXPECT_EQ(r.total, reqs.size());
+    EXPECT_EQ(r.errors,
+              metrics.counter("service.request_errors").value());
+}
+
+TEST(AdminReplay, StoreCompactionFiresOnTheAppendSchedule)
+{
+    ScratchPath scratch("compact-sched");
+    ServiceOptions so;
+    so.store_path = scratch.path;
+    so.store_compact_every = 4;
+    MetricsRegistry metrics;
+    QueryService svc(so, metrics);
+    ASSERT_NE(svc.store(), nullptr);
+
+    // 8 distinct queries -> 8 fresh searches -> 8 store appends ->
+    // compactions at appends 4 and 8.
+    std::vector<Request> reqs;
+    for (int64_t k = 1; k <= 8; ++k) {
+        Request r;
+        r.index = static_cast<size_t>(k);
+        r.deps = {IVec{1, 0}, IVec{k, 1}};
+        reqs.push_back(std::move(r));
+    }
+    ThreadPool pool(1);
+    std::vector<std::string> first = runBatch(svc, reqs, pool);
+    EXPECT_EQ(svc.searchesExecuted(), reqs.size());
+
+    EXPECT_EQ(svc.store()->stats().compactions, 2u);
+    EXPECT_EQ(metrics.counter("service.store.compactions").value(),
+              2u);
+
+    // Replaying the same batch appends nothing (cache hits), so the
+    // schedule does not advance...
+    std::vector<std::string> again = runBatch(svc, reqs, pool);
+    EXPECT_EQ(again, first);
+    EXPECT_EQ(svc.store()->stats().compactions, 2u);
+
+    // ...and a compacted store still restarts warm, byte-identical,
+    // with zero searches.
+    {
+        ServiceOptions cold = so;
+        MetricsRegistry metrics2;
+        QueryService svc2(cold, metrics2);
+        ThreadPool pool2(2);
+        std::vector<std::string> warm = runBatch(svc2, reqs, pool2);
+        EXPECT_EQ(warm, first);
+        EXPECT_EQ(svc2.searchesExecuted(), 0u);
+    }
+}
+
+} // namespace
+} // namespace service
+} // namespace uov

@@ -1,0 +1,163 @@
+// SLO tracker tests: rolling-window merge with an injected clock,
+// window expiry, quantile agreement with bucketPercentile, target
+// verdicts, and the /slo JSON document.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "telemetry/slo.h"
+
+using namespace uov;
+using namespace uov::telemetry;
+
+using Outcome = FlightDigest::Outcome;
+
+namespace {
+
+/** A tracker with a hand-cranked clock. */
+struct Clocked
+{
+    int64_t now = 1000;
+    SloTracker tracker;
+
+    explicit Clocked(SloOptions options = {})
+        : tracker(options, [this] { return now; })
+    {
+    }
+};
+
+} // namespace
+
+TEST(SloTracker, CountsOutcomesInWindow)
+{
+    SloOptions opt;
+    opt.window_s = 10;
+    Clocked c(opt);
+    c.tracker.record(Outcome::Optimal, 10);
+    c.tracker.record(Outcome::Degraded, 20);
+    c.tracker.record(Outcome::Shed, 1);
+    c.tracker.record(Outcome::Error, 5);
+
+    SloTracker::Report r = c.tracker.report();
+    EXPECT_EQ(r.total, 4u);
+    EXPECT_EQ(r.degraded, 1u);
+    EXPECT_EQ(r.shed, 1u);
+    EXPECT_EQ(r.errors, 1u);
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(SloTracker, OldSecondsFallOutOfTheWindow)
+{
+    SloOptions opt;
+    opt.window_s = 5;
+    Clocked c(opt);
+    c.tracker.record(Outcome::Error, 10);
+    EXPECT_EQ(c.tracker.report().errors, 1u);
+
+    // Advance past the window: the error second expires.
+    c.now += 5;
+    c.tracker.record(Outcome::Optimal, 10);
+    SloTracker::Report r = c.tracker.report();
+    EXPECT_EQ(r.total, 1u);
+    EXPECT_EQ(r.errors, 0u);
+}
+
+TEST(SloTracker, RingLapReusesSlotsCleanly)
+{
+    SloOptions opt;
+    opt.window_s = 3;
+    Clocked c(opt);
+    // Touch many distinct seconds so every ring slot is reused.
+    for (int s = 0; s < 20; ++s) {
+        c.tracker.record(Outcome::Optimal, 10);
+        c.now += 1;
+    }
+    // Only the seconds still inside the window survive.
+    SloTracker::Report r = c.tracker.report();
+    EXPECT_LE(r.total, 3u);
+}
+
+TEST(SloTracker, WindowClampedToSaneRange)
+{
+    SloOptions tiny;
+    tiny.window_s = 0;
+    EXPECT_EQ(SloTracker(tiny).options().window_s, 1);
+    SloOptions huge;
+    huge.window_s = 10'000;
+    EXPECT_EQ(SloTracker(huge).options().window_s, 600);
+}
+
+TEST(SloTracker, LatencyTargetsJudgeQuantiles)
+{
+    SloOptions opt;
+    opt.window_s = 60;
+    opt.p99_us = 100; // everything below: ok
+    Clocked c(opt);
+    for (int i = 0; i < 100; ++i)
+        c.tracker.record(Outcome::Optimal, 10);
+    EXPECT_TRUE(c.tracker.report().ok);
+
+    // Blow the tail: p99 rises beyond the target.
+    for (int i = 0; i < 50; ++i)
+        c.tracker.record(Outcome::Optimal, 100'000);
+    SloTracker::Report r = c.tracker.report();
+    EXPECT_FALSE(r.ok);
+    ASSERT_EQ(r.violations.size(), 1u);
+    EXPECT_EQ(r.violations[0], "p99_us");
+    EXPECT_GT(r.p99_us, 100u);
+}
+
+TEST(SloTracker, RatioCeilingsJudgeOutcomes)
+{
+    SloOptions opt;
+    opt.max_error = 0.10;
+    opt.max_shed = 0.50;
+    Clocked c(opt);
+    for (int i = 0; i < 8; ++i)
+        c.tracker.record(Outcome::Optimal, 1);
+    c.tracker.record(Outcome::Error, 1);
+
+    // 1 error in 9 responses is 11% -- over the 10% ceiling.
+    SloTracker::Report r = c.tracker.report();
+    EXPECT_FALSE(r.ok);
+    ASSERT_EQ(r.violations.size(), 1u);
+    EXPECT_EQ(r.violations[0], "max_error");
+
+    // Push the error ratio back under the ceiling.
+    for (int i = 0; i < 3; ++i)
+        c.tracker.record(Outcome::Optimal, 1);
+    EXPECT_TRUE(c.tracker.report().ok);
+}
+
+TEST(SloTracker, DisabledTargetsNeverViolate)
+{
+    Clocked c; // all targets off by default
+    for (int i = 0; i < 10; ++i)
+        c.tracker.record(Outcome::Error, 1'000'000);
+    SloTracker::Report r = c.tracker.report();
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(SloTracker, JsonDocumentShape)
+{
+    SloOptions opt;
+    opt.p99_us = 50;
+    Clocked c(opt);
+    // Three samples put the p99 target index (floor(0.99 * 3) = 2)
+    // on a slow sample, so the 50us target is violated.
+    c.tracker.record(Outcome::Optimal, 10);
+    c.tracker.record(Outcome::Shed, 1'000'000);
+    c.tracker.record(Outcome::Shed, 1'000'000);
+
+    std::string json = c.tracker.json();
+    EXPECT_NE(json.find("\"window_s\":60"), std::string::npos);
+    EXPECT_NE(json.find("\"total\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"shed\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"targets\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(json.find("\"violations\":[\"p99_us\"]"),
+              std::string::npos);
+}
